@@ -1,0 +1,56 @@
+"""Ablation A4: the joint-loss weight alpha (Section 4.2).
+
+"A hyper-parameter alpha balances the relative contribution of error
+prediction, L = L_drop + alpha * L_latency ... In practice, we set
+alpha to a value 0 < alpha <= 1 because the contribution of drops in
+determining future behavior is more significant than latency."
+
+This ablation sweeps alpha and reports held-out drop and latency loss
+components separately — the trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_util import evaluate, split_windows
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.core.features import Direction
+from repro.core.training import build_direction_datasets, standardize_and_window, train_micro_model
+
+ALPHAS = (0.1, 0.5, 1.0)
+
+_rows: list[list[object]] = []
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_alpha_point(benchmark, alpha, trained_bundle, micro_config):
+    _, full_output = trained_bundle
+    datasets, _ = build_direction_datasets(full_output.records, full_output.extractor)
+    data = standardize_and_window(datasets[Direction.INGRESS], micro_config.window)
+    train, test = split_windows(data)
+    config = replace(micro_config, alpha=alpha)
+
+    def train_model():
+        model, _ = train_micro_model(train, config, np.random.default_rng(2))
+        return model
+
+    model = benchmark.pedantic(train_model, rounds=1, iterations=1)
+    # Evaluate with alpha=1 so the reported components are comparable
+    # across the sweep (alpha only reweights training emphasis).
+    losses = evaluate(model, test, alpha=1.0)
+    _rows.append([alpha, losses["drop"], losses["latency"]])
+    benchmark.extra_info.update(losses)
+    assert np.isfinite(losses["drop"]) and np.isfinite(losses["latency"])
+
+
+def test_alpha_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("no points collected")
+    table = format_table(["alpha", "test_drop_loss", "test_latency_loss"], _rows)
+    write_result("ablation_a4_alpha", table)

@@ -1,0 +1,75 @@
+"""Ablation A7: the single-black-box limit (Section 7).
+
+"An open question is how much more complexity we can remove while
+retaining accuracy.  In the limit, the rest of the network could be
+modeled as a single black box, but training that black box to
+approximate such a large collection of machines is not trivial."
+
+This ablation runs that limit: a model trained on the rest-of-network
+boundary replaces everything outside the full-fidelity cluster (core
+layer included) and is compared — on events, wall-clock, and RTT
+distribution error — against the paper's per-cluster configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import ks_distance
+from repro.core.hybrid import HybridConfig
+from repro.core.pipeline import (
+    run_full_simulation,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.region import Region
+from repro.topology.clos import build_clos
+
+
+def test_blackbox_vs_per_cluster(benchmark, trained_bundle, train_experiment, micro_config):
+    per_cluster_bundle, _ = trained_bundle
+    config = replace(train_experiment, seed=701, duration_s=0.006)
+
+    # Train the rest-of-network model on the same topology/workload.
+    topology = build_clos(config.clos)
+    region = Region.rest_of_network(topology, full_cluster=0)
+    blackbox_bundle, _ = train_reusable_model(
+        config, micro=micro_config, collect_cluster=region
+    )
+
+    full = run_full_simulation(config).result
+
+    def run_both():
+        per_cluster, _ = run_hybrid_simulation(config, per_cluster_bundle)
+        blackbox, _ = run_hybrid_simulation(
+            config, blackbox_bundle, hybrid=HybridConfig(single_black_box=True)
+        )
+        return per_cluster, blackbox
+
+    per_cluster, blackbox = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in (
+        ("full", full), ("per_cluster", per_cluster), ("blackbox", blackbox)
+    ):
+        ks = "-" if name == "full" else f"{ks_distance(full.rtt_samples, result.rtt_samples):.3f}"
+        rows.append([
+            name,
+            result.events_executed,
+            f"{result.wallclock_seconds:.2f}",
+            len(result.rtt_samples),
+            ks,
+        ])
+    table = format_table(
+        ["configuration", "events", "wall_s", "rtt_samples", "rtt_ks_vs_full"], rows
+    )
+    write_result("ablation_a7_blackbox", table)
+
+    # The limit case removes strictly more events than per-cluster.
+    assert blackbox.events_executed < per_cluster.events_executed
+    # And it still produces usable observations in the full cluster.
+    assert len(blackbox.rtt_samples) > 10

@@ -1,0 +1,76 @@
+"""Ablation A5: LSTM capacity (Section 7, "Improving accuracy").
+
+"Our prototype currently uses a two-layer LSTM with 128 hidden nodes.
+Accuracy can be improved by stacking more layers, using more nodes per
+layer ... Each of these come with tradeoffs — adding more complexity
+may increase the cost of training and prediction."
+
+This ablation sweeps (hidden_size, num_layers), measuring both sides
+of that trade: held-out loss and per-packet prediction latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_util import evaluate, split_windows
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.core.features import Direction
+from repro.core.training import build_direction_datasets, standardize_and_window, train_micro_model
+
+VARIANTS = ((16, 1), (32, 1), (32, 2), (64, 2))
+
+_rows: list[list[object]] = []
+
+
+@pytest.mark.parametrize("hidden,layers", VARIANTS)
+def test_capacity_point(benchmark, hidden, layers, trained_bundle, micro_config):
+    _, full_output = trained_bundle
+    datasets, _ = build_direction_datasets(full_output.records, full_output.extractor)
+    data = standardize_and_window(datasets[Direction.INGRESS], micro_config.window)
+    train, test = split_windows(data)
+    config = replace(micro_config, hidden_size=hidden, num_layers=layers)
+
+    def train_model():
+        model, _ = train_micro_model(train, config, np.random.default_rng(3))
+        return model
+
+    model = benchmark.pedantic(train_model, rounds=1, iterations=1)
+    losses = evaluate(model, test, alpha=1.0)
+
+    # Per-packet prediction latency (the simulation-time cost).
+    state = model.initial_state()
+    probe = np.zeros(config.input_size)
+    start = time.perf_counter()
+    steps = 500
+    for _ in range(steps):
+        _, _, state = model.predict_step(probe, state)
+    predict_us = (time.perf_counter() - start) / steps * 1e6
+
+    _rows.append([
+        f"{hidden}x{layers}",
+        model.parameter_count(),
+        losses["total"],
+        losses["drop"],
+        losses["latency"],
+        f"{predict_us:.1f}",
+    ])
+    benchmark.extra_info["test_loss"] = losses["total"]
+    benchmark.extra_info["predict_us"] = predict_us
+    assert np.isfinite(losses["total"])
+
+
+def test_capacity_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("no points collected")
+    table = format_table(
+        ["model", "params", "test_total", "test_drop", "test_latency", "predict_us"],
+        _rows,
+    )
+    write_result("ablation_a5_capacity", table)

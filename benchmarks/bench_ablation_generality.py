@@ -1,0 +1,56 @@
+"""Ablation A6: generality across traffic patterns (Section 7).
+
+"While our LSTM-based approach is agnostic to many details of the
+target architecture, it is an open question as to the extent of this
+generality."  This ablation measures one axis of it: a model trained
+under the uniform web-search workload drives hybrid simulations whose
+traffic matrix it never saw (permutation), and the RTT-distribution
+error is compared against the matched (uniform) case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import ks_distance, wasserstein_distance
+from repro.core.pipeline import run_full_simulation, run_hybrid_simulation
+
+MATRICES = ("uniform", "permutation")
+
+_rows: list[list[object]] = []
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+def test_generality_point(benchmark, matrix, trained_bundle, train_experiment):
+    trained, _ = trained_bundle
+    config = replace(train_experiment, matrix=matrix, seed=601, duration_s=0.006)
+    full = run_full_simulation(config).result
+
+    def run_hybrid():
+        return run_hybrid_simulation(config, trained)
+
+    hybrid_result, _ = benchmark.pedantic(run_hybrid, rounds=1, iterations=1)
+    truth = full.rtt_samples
+    approx = hybrid_result.rtt_samples
+    assert len(truth) > 10 and len(approx) > 10
+    ks = ks_distance(truth, approx)
+    w1 = wasserstein_distance(truth, approx)
+    _rows.append([matrix, len(truth), len(approx), f"{ks:.3f}", f"{w1:.3e}"])
+    benchmark.extra_info["ks"] = ks
+    # The unseen matrix must still land in the same ballpark.
+    assert ks < 0.9
+
+
+def test_generality_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("no points collected")
+    table = format_table(
+        ["matrix", "truth_rtts", "approx_rtts", "ks_distance", "wasserstein_s"],
+        _rows,
+    )
+    write_result("ablation_a6_generality", table)

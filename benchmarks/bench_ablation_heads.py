@@ -1,0 +1,59 @@
+"""Ablation A9: hierarchical (per-macro-state) prediction heads.
+
+Section 7: "Multi-scale and hierarchical recurrent neural network
+models are interesting future directions as these models can
+simultaneously capture macro and micro effects."  The lightest such
+coupling in this codebase routes the drop/latency heads by the macro
+congestion state (four heads each, hard selection).  This ablation
+trains shared-head and per-macro-head models on identical windows and
+compares held-out joint loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_util import evaluate, split_windows
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.core.features import Direction
+from repro.core.training import build_direction_datasets, standardize_and_window, train_micro_model
+
+VARIANTS = ("shared", "per_macro")
+
+_rows: list[list[object]] = []
+
+
+@pytest.mark.parametrize("heads", VARIANTS)
+def test_heads_point(benchmark, heads, trained_bundle, micro_config):
+    _, full_output = trained_bundle
+    datasets, _ = build_direction_datasets(full_output.records, full_output.extractor)
+    data = standardize_and_window(datasets[Direction.INGRESS], micro_config.window)
+    train, test = split_windows(data)
+    config = replace(micro_config, heads=heads)
+
+    def train_model():
+        model, _ = train_micro_model(train, config, np.random.default_rng(4))
+        return model
+
+    model = benchmark.pedantic(train_model, rounds=1, iterations=1)
+    losses = evaluate(model, test, alpha=1.0)
+    _rows.append([
+        heads, model.parameter_count(), losses["total"], losses["drop"],
+        losses["latency"],
+    ])
+    benchmark.extra_info.update(losses)
+    assert np.isfinite(losses["total"])
+
+
+def test_heads_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("no points collected")
+    table = format_table(
+        ["heads", "params", "test_total", "test_drop", "test_latency"], _rows
+    )
+    write_result("ablation_a9_heads", table)

@@ -1,0 +1,59 @@
+"""Ablation A2: does the macro-state feature earn its place?
+
+Section 4 argues for a hierarchical macro/micro split: the macro state
+(a 4-way congestion-regime one-hot) is one of the micro model's input
+features.  This ablation trains two identical micro models on the same
+windows, one with the macro one-hot zeroed out, and compares held-out
+joint loss on a chronological test split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_util import ablate_features, evaluate, split_windows
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.core.features import Direction, FEATURE_NAMES
+from repro.core.training import build_direction_datasets, standardize_and_window, train_micro_model
+
+MACRO_COLUMNS = [
+    FEATURE_NAMES.index(name)
+    for name in ("macro_minimal", "macro_increasing", "macro_high", "macro_decreasing")
+]
+
+
+def test_macro_feature_ablation(benchmark, trained_bundle, micro_config):
+    _, full_output = trained_bundle
+    datasets, _ = build_direction_datasets(full_output.records, full_output.extractor)
+    data = standardize_and_window(datasets[Direction.INGRESS], micro_config.window)
+    train, test = split_windows(data)
+
+    def train_both():
+        with_macro, _ = train_micro_model(
+            train, micro_config, np.random.default_rng(1)
+        )
+        without_macro, _ = train_micro_model(
+            ablate_features(train, MACRO_COLUMNS), micro_config, np.random.default_rng(1)
+        )
+        return with_macro, without_macro
+
+    with_macro, without_macro = benchmark.pedantic(train_both, rounds=1, iterations=1)
+
+    loss_with = evaluate(with_macro, test, micro_config.alpha)
+    loss_without = evaluate(
+        without_macro, ablate_features(test, MACRO_COLUMNS), micro_config.alpha
+    )
+    table = format_table(
+        ["variant", "test_total", "test_drop", "test_latency"],
+        [
+            ["with_macro", loss_with["total"], loss_with["drop"], loss_with["latency"]],
+            ["without_macro", loss_without["total"], loss_without["drop"], loss_without["latency"]],
+        ],
+    )
+    write_result("ablation_a2_macro", table)
+    benchmark.extra_info["with_macro_loss"] = loss_with["total"]
+    benchmark.extra_info["without_macro_loss"] = loss_without["total"]
+    # Both variants must at least be finite and trained.
+    assert np.isfinite(loss_with["total"]) and np.isfinite(loss_without["total"])

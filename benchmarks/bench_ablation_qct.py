@@ -1,0 +1,90 @@
+"""Ablation A8: application-level fidelity (partition-aggregate QCT).
+
+Figures 4/5 measure packet-level quantities; a user of the simulator
+ultimately cares about *application* metrics.  This ablation drives
+the partition-aggregate workload (the query fan-out pattern behind the
+paper's web-search traffic) through both the full and the hybrid
+simulator — roots pinned to the full-fidelity cluster, workers spread
+across the whole network so most responses traverse approximated
+fabrics — and compares query completion time distributions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import ks_distance, percentile_summary
+from repro.core.hybrid import HybridConfig, HybridSimulation
+from repro.des.kernel import Simulator
+from repro.net.network import Network
+from repro.topology.clos import build_clos
+from repro.traffic.partition_aggregate import PartitionAggregateGenerator
+
+QUERIES = 30
+FANOUT = 6
+RESPONSE_BYTES = 50_000
+RATE_PER_S = 2_000.0
+
+
+def _drive_queries(sim, network, seed_tag: str):
+    generator = PartitionAggregateGenerator(
+        sim,
+        network,
+        queries_per_s=RATE_PER_S,
+        fanout=FANOUT,
+        response_bytes=RESPONSE_BYTES,
+        max_queries=QUERIES,
+    )
+    generator.start()
+    sim.run(until=5.0)
+    return generator
+
+
+def test_qct_fidelity(benchmark, trained_bundle, train_experiment):
+    trained, _ = trained_bundle
+    topology = build_clos(train_experiment.clos)
+
+    # Full-fidelity reference.
+    full_sim = Simulator(seed=801)
+    full_net = Network(full_sim, topology, config=train_experiment.net)
+    full_gen = _drive_queries(full_sim, full_net, "full")
+
+    # Hybrid twin (same seed => same query schedule).
+    def run_hybrid():
+        sim = Simulator(seed=801)
+        hybrid = HybridSimulation(
+            sim, topology, trained, net_config=train_experiment.net,
+            config=HybridConfig(elide_remote_traffic=False),
+        )
+        generator = _drive_queries(sim, hybrid.network, "hybrid")
+        return sim, hybrid, generator
+
+    _, hybrid, hybrid_gen = benchmark.pedantic(run_hybrid, rounds=1, iterations=1)
+
+    full_qcts = full_gen.completed_qcts()
+    hybrid_qcts = hybrid_gen.completed_qcts()
+    assert full_gen.queries_completed == QUERIES
+    assert hybrid_gen.queries_completed >= QUERIES * 0.8  # model drops may strand a few
+    assert hybrid.model_packets_handled() > 0
+
+    ks = ks_distance(full_qcts, hybrid_qcts)
+    rows = []
+    for name, sample in (("full", full_qcts), ("hybrid", hybrid_qcts)):
+        stats = percentile_summary(sample, percentiles=(50, 90, 99))
+        rows.append([
+            name, int(stats["count"]),
+            f"{stats['p50'] * 1e3:.3f}", f"{stats['p90'] * 1e3:.3f}",
+            f"{stats['p99'] * 1e3:.3f}",
+        ])
+    table = format_table(["run", "queries", "qct_p50_ms", "qct_p90_ms", "qct_p99_ms"], rows)
+    write_result("ablation_a8_qct", table + f"\n\nqct_ks_distance\t{ks:.3f}")
+    benchmark.extra_info["qct_ks"] = ks
+
+    # Application-level distributions must land in the same ballpark.
+    assert ks < 0.8
+    import numpy as np
+
+    ratio = np.median(hybrid_qcts) / np.median(full_qcts)
+    assert 1 / 10 < ratio < 10

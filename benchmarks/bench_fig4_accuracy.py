@@ -1,0 +1,78 @@
+"""Figure 4: CDF of packet RTTs, ground truth vs. approximation.
+
+The paper compares the CDFs of RTTs observed by hosts in the full and
+the approximate simulations of a two-cluster topology ("we use a CDF
+to ask whether the overall distributions of the two simulations are
+similar", Section 6.1).  Expected shape, per the paper: the
+approximate CDF is steeper (the model under-estimates congestion
+variance) but turns upward at a similar latency — same ballpark.
+
+This benchmark regenerates both CDFs, writes them as plottable series,
+and quantifies the gap with KS and Wasserstein distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import ks_distance, percentile_summary, wasserstein_distance
+from repro.core.pipeline import run_hybrid_simulation
+
+_collected: dict[str, object] = {}
+
+
+def test_fig4_accuracy(benchmark, trained_bundle, train_experiment):
+    """Run the hybrid twin of the training run and compare RTT CDFs."""
+    trained, full_output = trained_bundle
+
+    def run_hybrid():
+        return run_hybrid_simulation(train_experiment, trained)
+
+    hybrid_result, _ = benchmark.pedantic(run_hybrid, rounds=1, iterations=1)
+
+    truth = np.asarray(full_output.result.rtt_samples)
+    approx = np.asarray(hybrid_result.rtt_samples)
+    assert truth.size > 20, "ground-truth run produced too few RTT samples"
+    assert approx.size > 20, "hybrid run produced too few RTT samples"
+
+    ks = ks_distance(truth, approx)
+    w1 = wasserstein_distance(truth, approx)
+    _collected.update(truth=truth, approx=approx, ks=ks, w1=w1)
+    benchmark.extra_info["ks_distance"] = ks
+    benchmark.extra_info["wasserstein_s"] = w1
+
+    # The paper's qualitative claim: same ballpark.  KS < 1 trivially;
+    # we require substantial overlap and medians within ~30x.
+    assert ks < 0.8
+    ratio = np.median(approx) / np.median(truth)
+    assert 1 / 30 < ratio < 30
+
+
+def test_fig4_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "truth" not in _collected:
+        pytest.skip("accuracy point did not run")
+    truth = _collected["truth"]
+    approx = _collected["approx"]
+    blocks = []
+    for name, sample in (("groundtruth", truth), ("approx", approx)):
+        xs, ys = EmpiricalCdf(sample).curve(points=60)
+        blocks.append(format_series(f"fig4/{name}", xs, ys))
+    rows = []
+    for name, sample in (("groundtruth", truth), ("approx", approx)):
+        stats = percentile_summary(sample, percentiles=(50, 90, 99))
+        rows.append([
+            name, int(stats["count"]),
+            f"{stats['p50'] * 1e6:.1f}", f"{stats['p90'] * 1e6:.1f}",
+            f"{stats['p99'] * 1e6:.1f}",
+        ])
+    table = format_table(["series", "n", "p50_us", "p90_us", "p99_us"], rows)
+    summary = (
+        f"ks_distance\t{_collected['ks']:.4f}\n"
+        f"wasserstein_s\t{_collected['w1']:.3e}"
+    )
+    write_result("fig4_accuracy", table + "\n\n" + summary + "\n\n" + "\n\n".join(blocks))

@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper (or one ablation
+from DESIGN.md).  Three scales via ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — scaled-down sizes, minutes of wall-clock;
+* ``large`` — the paper's topology sweeps (leaf-spine to 64, 16
+  clusters) with a moderate training budget; tens of minutes;
+* ``paper`` — additionally the paper's full >50k-batch training
+  budget and 128x2 models (hours of CPU).
+
+Results are printed *and* written to ``benchmarks/results/*.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+figure data on disk regardless of output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig, train_reusable_model
+from repro.topology.clos import ClosParams
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: "small" (default) finishes in minutes; "paper" uses the paper's sizes.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def bench_scale() -> str:
+    """The active scale name."""
+    return SCALE
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's regenerated rows/series."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    # Also emit to stdout for tee'd runs (-s or on failure).
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+def full_sweep() -> bool:
+    """True when topology sweeps should use the paper's sizes."""
+    return SCALE in ("large", "paper")
+
+
+@pytest.fixture(scope="session")
+def train_experiment() -> ExperimentConfig:
+    """The training-stage configuration (2 clusters, Figure 3 left)."""
+    duration = 0.02 if SCALE in ("large", "paper") else 0.01
+    return ExperimentConfig(
+        clos=ClosParams(clusters=2), load=0.25, duration_s=duration, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> MicroModelConfig:
+    """Micro-model budget for the bench suite.
+
+    The paper's full configuration (128 hidden, 2 layers, >50k batches)
+    is available under REPRO_BENCH_SCALE=paper; the small profile keeps
+    training to ~1 minute of CPU.
+    """
+    if SCALE == "paper":
+        return MicroModelConfig(train_batches=50_000)
+    if SCALE == "large":
+        return MicroModelConfig(
+            hidden_size=32, num_layers=1, window=16,
+            train_batches=800, learning_rate=3e-3,
+        )
+    return MicroModelConfig(
+        hidden_size=32, num_layers=1, window=16,
+        train_batches=300, learning_rate=3e-3,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_bundle(train_experiment, micro_config):
+    """One trained cluster model shared by every benchmark."""
+    trained, full_output = train_reusable_model(train_experiment, micro=micro_config)
+    return trained, full_output

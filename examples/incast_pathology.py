@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The minimum-window pathology (Section 2.1 of the paper).
+
+"Given enough simultaneous connections, it is possible that the fair
+share of each connection is less than their minimum window size.  When
+this occurs, TCP will never back off enough to prevent high packet
+loss."  The paper cites this as an at-scale behaviour small testbeds
+miss — and a reason rate-based congestion control was adopted in
+production data centers.
+
+This example reproduces the mechanism with synchronized incast: N
+senders transmit to one sink simultaneously.  Below a sender-count
+threshold, TCP's backoff keeps loss bounded; above it, the aggregate
+of minimum windows alone overruns the sink buffer every RTT and loss
+explodes no matter how far the senders back off.
+
+Run:  python examples/incast_pathology.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.net.tcp.config import TcpConfig
+from repro.topology.clos import ClosParams, build_clos, server_name
+
+FLOW_BYTES = 250_000
+DURATION_S = 0.2
+
+
+def run_incast(num_senders: int, seed: int = 1) -> dict[str, float]:
+    """Synchronized incast of ``num_senders`` flows into one sink."""
+    # Enough racks to supply the senders: 8 servers per cluster.
+    clusters = max(1, (num_senders + 8) // 8 + 1)
+    topo = build_clos(ClosParams(clusters=clusters))
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim,
+        topo,
+        config=NetworkConfig(
+            tcp=TcpConfig(min_rto_s=0.01),
+            queue_capacity_bytes=50_000,  # shallow sink buffer
+        ),
+    )
+    sink = net.host(server_name(0, 0, 0))
+    senders = []
+    for node in topo.servers():
+        if node.name == sink.name or len(senders) >= num_senders:
+            continue
+        sender = net.host(node.name).open_flow(sink, FLOW_BYTES)
+        senders.append(sender)
+    for sender in senders:
+        sender.start()
+    sim.run(until=DURATION_S)
+
+    completed = sum(1 for s in senders if s.completed)
+    return {
+        "senders": len(senders),
+        "completed": completed,
+        "drops": net.total_drops,
+        "timeouts": sum(s.timeouts for s in senders),
+        "retx": sum(s.retransmissions for s in senders),
+        "goodput_gbps": completed * FLOW_BYTES * 8 / DURATION_S / 1e9,
+    }
+
+
+def main() -> None:
+    print(
+        f"Synchronized incast: N senders -> 1 sink, {FLOW_BYTES // 1000} KB "
+        f"each, 50 KB sink buffer\n"
+    )
+    rows = []
+    for n in (2, 4, 8, 16, 30):
+        result = run_incast(n)
+        rows.append([
+            result["senders"],
+            result["completed"],
+            result["drops"],
+            result["timeouts"],
+            result["retx"],
+            f"{result['goodput_gbps']:.2f}",
+        ])
+        print(f"  N={n} done")
+    print()
+    print(format_table(
+        ["senders", "completed", "drops", "RTOs", "retransmits", "goodput (Gbps)"],
+        rows,
+    ))
+    print(
+        "\nDrops and RTOs grow super-linearly with sender count: once\n"
+        "the sum of minimum windows exceeds buffer + bandwidth-delay\n"
+        "product, loss persists regardless of backoff — the behaviour\n"
+        "that 'contributed to the adoption of rate-based congestion\n"
+        "control in Google's data center networks' (paper Section 2.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

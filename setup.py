@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has setuptools but no ``wheel`` package and no network
+access, so PEP 517/660 editable installs (which build a wheel) fail.
+With this shim and no ``[build-system]`` table in pyproject.toml,
+``pip install -e .`` falls back to ``setup.py develop``, which works
+offline.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro: approximate data center network simulation.
+
+A complete, from-scratch reproduction of *"Fast Network Simulation
+Through Approximation or: How Blind Men Can Describe Elephants"*
+(Kazer, Sedoc, Ng, Liu, Ungar — HotNets-XVII, 2018).
+
+The package speeds up packet-level data center simulation by replacing
+most of the network's cluster fabrics with trained LSTM approximations
+while one cluster (and the core layer) runs at full packet fidelity.
+
+Subpackages
+-----------
+``repro.des``
+    Discrete event simulation kernel (the OMNeT++ role).
+``repro.nn``
+    From-scratch neural network library (the PyTorch role).
+``repro.topology``
+    Clos / leaf-spine topologies, ECMP routing, partitioning.
+``repro.net``
+    Packet-level network stack: links, switches, hosts, TCP New Reno.
+``repro.traffic``
+    DCTCP web-search workload, arrival processes, traffic matrices.
+``repro.flowsim``
+    Flow-level (fluid) baseline simulator.
+``repro.pdes``
+    Conservative parallel DES baseline (Figure 1).
+``repro.core``
+    The paper's contribution: macro-state classifier, LSTM micro
+    models, training pipeline, and the hybrid simulator.
+``repro.analysis``
+    CDFs, distribution distances, text reporting.
+
+Quickstart
+----------
+See ``examples/quickstart.py`` for the three-stage workflow (Figure 3):
+full small simulation -> model training -> large hybrid simulation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

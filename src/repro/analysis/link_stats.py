@@ -1,0 +1,75 @@
+"""Per-link utilization and queue reporting.
+
+Turns the raw :class:`~repro.net.port.PortStats` counters of a
+finished run into the table an operator reads: utilization, drops,
+marks, and peak queue depth per directed link — optionally filtered
+to the hottest links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Summary of one directed link over a run."""
+
+    link_from: str
+    link_to: str
+    utilization: float
+    bytes_transmitted: int
+    packets: int
+    drops: int
+    marks: int
+    peak_queue_bytes: int
+
+
+def collect_link_reports(network: Network, duration_s: float) -> list[LinkReport]:
+    """Summarize every directed port of ``network`` over ``duration_s``.
+
+    Utilization is transmitted bits over capacity x duration; reports
+    are sorted by utilization, busiest first.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    reports = []
+    for (owner, peer), port in network.ports().items():
+        capacity_bits = port.rate_bps * duration_s
+        utilization = port.stats.bytes_transmitted * 8.0 / capacity_bits
+        reports.append(
+            LinkReport(
+                link_from=owner,
+                link_to=peer,
+                utilization=utilization,
+                bytes_transmitted=port.stats.bytes_transmitted,
+                packets=port.stats.transmitted,
+                drops=port.stats.dropped,
+                marks=port.stats.marked,
+                peak_queue_bytes=port.stats.peak_queued_bytes,
+            )
+        )
+    reports.sort(key=lambda r: r.utilization, reverse=True)
+    return reports
+
+
+def format_link_report(reports: list[LinkReport], top: int | None = 10) -> str:
+    """Render reports (busiest ``top``, or all when None) as a table."""
+    selected = reports if top is None else reports[:top]
+    rows = [
+        [
+            f"{r.link_from}->{r.link_to}",
+            f"{r.utilization:.1%}",
+            r.packets,
+            r.drops,
+            r.marks,
+            r.peak_queue_bytes,
+        ]
+        for r in selected
+    ]
+    return format_table(
+        ["link", "util", "packets", "drops", "marks", "peak_queue_B"], rows
+    )

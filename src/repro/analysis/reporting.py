@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    Floats are rendered with 6 significant digits; everything else via
+    ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(text.ljust(widths[i]) for i, text in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render one named (x, y) series as a compact two-column block."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: len(xs)={len(xs)} != len(ys)={len(ys)}")
+    lines = [f"# series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:.6g}\t{y:.6g}")
+    return "\n".join(lines)

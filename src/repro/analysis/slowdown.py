@@ -1,0 +1,135 @@
+"""Normalized flow completion time ("FCT slowdown") analysis.
+
+Data center papers (DCTCP, pFabric, Homa, ...) report flow performance
+as *slowdown*: measured FCT divided by the FCT the flow would have on
+an idle network.  Slowdown 1 means perfect; the interesting signal is
+how slowdown grows for small flows (queueing behind elephants) vs.
+large ones (bandwidth sharing).  This module computes per-flow
+slowdowns and bucket-by-size summaries from
+:class:`~repro.traffic.apps.FlowRecord` lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.net.packet import DEFAULT_MSS, HEADER_BYTES
+from repro.traffic.apps import FlowRecord
+
+#: Default size-bucket edges in bytes (spanning the web-search range).
+DEFAULT_BUCKETS: tuple[float, ...] = (10e3, 100e3, 1e6, 10e6)
+
+
+def ideal_fct_s(
+    size_bytes: int,
+    rate_bps: float,
+    base_rtt_s: float,
+    mss: int = DEFAULT_MSS,
+) -> float:
+    """Idle-network FCT for a flow.
+
+    Store-and-forward model: one base RTT of startup (request/ACK
+    latency) plus per-packet wire time at line rate (payload + header
+    overhead).  This matches how the slowdown literature normalizes.
+    """
+    if size_bytes < 1:
+        raise ValueError(f"size_bytes must be >= 1, got {size_bytes}")
+    if rate_bps <= 0 or base_rtt_s < 0:
+        raise ValueError("rate_bps must be positive and base_rtt_s non-negative")
+    packets = math.ceil(size_bytes / mss)
+    wire_bytes = size_bytes + packets * HEADER_BYTES
+    return base_rtt_s + wire_bytes * 8.0 / rate_bps
+
+
+@dataclass(frozen=True)
+class SlowdownSummary:
+    """Slowdown statistics for one size bucket."""
+
+    bucket_label: str
+    flows: int
+    p50: float
+    p99: float
+    mean: float
+
+
+def flow_slowdowns(
+    flows: Iterable[FlowRecord],
+    rate_bps: float,
+    base_rtt_s: float,
+) -> list[tuple[FlowRecord, float]]:
+    """Per-flow (record, slowdown) for completed flows.
+
+    Slowdowns are floored at 1.0: a flow cannot genuinely beat the
+    idle network, and tiny float excursions below 1 are measurement
+    artifacts of the normalization model.
+    """
+    result = []
+    for record in flows:
+        if record.fct is None:
+            continue
+        ideal = ideal_fct_s(record.size_bytes, rate_bps, base_rtt_s)
+        result.append((record, max(record.fct / ideal, 1.0)))
+    return result
+
+
+def slowdown_by_bucket(
+    flows: Iterable[FlowRecord],
+    rate_bps: float,
+    base_rtt_s: float,
+    bucket_edges: Sequence[float] = DEFAULT_BUCKETS,
+) -> list[SlowdownSummary]:
+    """Bucket completed flows by size and summarize slowdowns.
+
+    Buckets are ``(-inf, e0], (e0, e1], ..., (en, inf)``; empty buckets
+    are omitted.
+    """
+    edges = list(bucket_edges)
+    if edges != sorted(edges):
+        raise ValueError("bucket_edges must be sorted ascending")
+    pairs = flow_slowdowns(flows, rate_bps, base_rtt_s)
+    labels = (
+        [f"<={_fmt(edges[0])}"]
+        + [f"{_fmt(lo)}-{_fmt(hi)}" for lo, hi in zip(edges, edges[1:])]
+        + [f">{_fmt(edges[-1])}"]
+    )
+    buckets: list[list[float]] = [[] for _ in range(len(edges) + 1)]
+    for record, slowdown in pairs:
+        index = np.searchsorted(edges, record.size_bytes, side="left")
+        buckets[index].append(slowdown)
+    summaries = []
+    for label, values in zip(labels, buckets):
+        if not values:
+            continue
+        arr = np.asarray(values)
+        summaries.append(
+            SlowdownSummary(
+                bucket_label=label,
+                flows=arr.size,
+                p50=float(np.percentile(arr, 50)),
+                p99=float(np.percentile(arr, 99)),
+                mean=float(arr.mean()),
+            )
+        )
+    return summaries
+
+
+def format_slowdown_table(summaries: list[SlowdownSummary]) -> str:
+    """Render bucket summaries as an aligned table."""
+    rows = [
+        [s.bucket_label, s.flows, f"{s.p50:.2f}", f"{s.p99:.2f}", f"{s.mean:.2f}"]
+        for s in summaries
+    ]
+    return format_table(["size", "flows", "slowdown_p50", "slowdown_p99", "mean"], rows)
+
+
+def _fmt(size: float) -> str:
+    if size >= 1e6:
+        return f"{size / 1e6:g}MB"
+    if size >= 1e3:
+        return f"{size / 1e3:g}KB"
+    return f"{size:g}B"

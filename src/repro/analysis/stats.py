@@ -1,0 +1,83 @@
+"""Distribution distances and summary statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def ks_distance(a: Iterable[float], b: Iterable[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: max |F_a(x) - F_b(x)|."""
+    a_sorted = np.sort(np.asarray(list(a), dtype=np.float64))
+    b_sorted = np.sort(np.asarray(list(b), dtype=np.float64))
+    if a_sorted.size == 0 or b_sorted.size == 0:
+        raise ValueError("KS distance requires non-empty samples")
+    grid = np.concatenate([a_sorted, b_sorted])
+    fa = np.searchsorted(a_sorted, grid, side="right") / a_sorted.size
+    fb = np.searchsorted(b_sorted, grid, side="right") / b_sorted.size
+    return float(np.max(np.abs(fa - fb)))
+
+
+def wasserstein_distance(a: Iterable[float], b: Iterable[float]) -> float:
+    """1-Wasserstein (earth mover's) distance between two samples.
+
+    Computed as the integral of |F_a - F_b| via the quantile coupling;
+    unlike KS it is in the units of the data (seconds, here), which
+    makes "how far off is the latency distribution" interpretable.
+    """
+    a_sorted = np.sort(np.asarray(list(a), dtype=np.float64))
+    b_sorted = np.sort(np.asarray(list(b), dtype=np.float64))
+    if a_sorted.size == 0 or b_sorted.size == 0:
+        raise ValueError("Wasserstein distance requires non-empty samples")
+    # Evaluate both quantile functions on a common probability grid.
+    n = max(a_sorted.size, b_sorted.size, 512)
+    qs = (np.arange(n) + 0.5) / n
+    qa = np.quantile(a_sorted, qs)
+    qb = np.quantile(b_sorted, qs)
+    return float(np.mean(np.abs(qa - qb)))
+
+
+def roc_auc(scores: Iterable[float], labels: Iterable[int]) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) form.
+
+    ``labels`` are 0/1; ties in scores receive average ranks.  Raises
+    if only one class is present (AUC is undefined there).
+    """
+    score_arr = np.asarray(list(scores), dtype=np.float64)
+    label_arr = np.asarray(list(labels), dtype=np.float64)
+    if score_arr.shape != label_arr.shape:
+        raise ValueError("scores and labels must have equal length")
+    positives = int(label_arr.sum())
+    negatives = label_arr.size - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both classes present")
+    order = np.argsort(score_arr, kind="mergesort")
+    ranks = np.empty_like(score_arr)
+    ranks[order] = np.arange(1, score_arr.size + 1)
+    # Average ranks over ties.
+    sorted_scores = score_arr[order]
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum = float(ranks[label_arr == 1].sum())
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
+
+
+def percentile_summary(
+    samples: Iterable[float], percentiles: Sequence[float] = (50, 90, 95, 99, 99.9)
+) -> dict[str, float]:
+    """Mean plus a standard set of percentiles, as a flat dict."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        return {"count": 0.0}
+    summary = {"count": float(values.size), "mean": float(values.mean())}
+    for p in percentiles:
+        summary[f"p{p:g}"] = float(np.percentile(values, p))
+    return summary

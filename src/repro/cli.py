@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+Exposes the Figure 3 workflow without writing Python::
+
+    python -m repro simulate --clusters 2 --load 0.25 --duration 0.01
+    python -m repro train    --output cluster_model/ --duration 0.01
+    python -m repro hybrid   --model cluster_model/ --clusters 8
+    python -m repro info
+
+``simulate`` runs full fidelity and prints workload statistics (with
+optional CSV packet traces); ``train`` performs the full-fidelity +
+training stages and saves a reusable model directory; ``hybrid`` loads
+such a directory and runs the approximate simulation at any size.
+All commands print aligned plain-text tables and return a process exit
+code (0 on success), so they compose with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import percentile_summary
+from repro.core.features import FEATURE_NAMES
+from repro.core.hybrid import HybridConfig
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    RunResult,
+    run_full_simulation,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.training import TrainedClusterModel
+from repro.topology.clos import ClosParams
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", type=int, default=2, help="number of clusters")
+    parser.add_argument("--load", type=float, default=0.25, help="offered load fraction")
+    parser.add_argument(
+        "--duration", type=float, default=0.01, help="simulated seconds"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+
+
+def _experiment_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        clos=ClosParams(clusters=args.clusters),
+        load=args.load,
+        duration_s=args.duration,
+        seed=args.seed,
+        matrix=getattr(args, "matrix", "uniform"),
+    )
+
+
+def _print_run(result: RunResult, title: str) -> None:
+    rows = [
+        ["simulated (ms)", result.sim_seconds * 1e3],
+        ["wall-clock (s)", result.wallclock_seconds],
+        ["sim-seconds/second", result.sim_seconds_per_second],
+        ["events executed", result.events_executed],
+        ["flows started", result.flows_started],
+        ["flows completed", result.flows_completed],
+        ["flows elided", result.flows_elided],
+        ["drops", result.drops],
+    ]
+    if result.model_packets:
+        rows.append(["model packets", result.model_packets])
+        rows.append(["model drops", result.model_drops])
+    print(f"== {title} ==")
+    print(format_table(["metric", "value"], rows))
+    for name, sample in (("RTT (us)", result.rtt_samples), ("FCT (ms)", result.fcts)):
+        if not sample:
+            continue
+        scale = 1e6 if name.startswith("RTT") else 1e3
+        stats = percentile_summary(sample, percentiles=(50, 95, 99))
+        print(
+            f"{name}: n={int(stats['count'])} "
+            f"p50={stats['p50'] * scale:.1f} "
+            f"p95={stats['p95'] * scale:.1f} "
+            f"p99={stats['p99'] * scale:.1f}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _experiment_from_args(args)
+    if args.trace_csv:
+        # Build manually so the tracer attaches before traffic starts.
+        from repro.des.kernel import Simulator
+        from repro.net.network import Network
+        from repro.net.tracing import PacketTracer
+        from repro.topology.clos import build_clos
+        from repro.core.pipeline import make_generator
+
+        topology = build_clos(config.clos)
+        sim = Simulator(seed=config.seed)
+        network = Network(sim, topology, config=config.net)
+        tracer = PacketTracer(network)
+        generator = make_generator(sim, network, config)
+        generator.start()
+        sim.run(until=config.duration_s)
+        count = tracer.write_csv(args.trace_csv)
+        print(f"wrote {count} trace events to {args.trace_csv}")
+        result = RunResult(
+            sim_seconds=config.duration_s,
+            wallclock_seconds=sim.wallclock_elapsed,
+            events_executed=sim.events_executed,
+            flows_started=generator.flows_started,
+            flows_completed=generator.flows_completed,
+            flows_elided=generator.flows_elided,
+            drops=network.total_drops,
+            rtt_samples=network.rtt_monitor(0).values.tolist(),
+            fcts=generator.completed_fcts(),
+        )
+    else:
+        result = run_full_simulation(config).result
+    _print_run(result, f"full simulation: {args.clusters} clusters @ {args.load:.0%}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    config = _experiment_from_args(args)
+    micro = MicroModelConfig(
+        hidden_size=args.hidden,
+        num_layers=args.layers,
+        cell=args.cell,
+        alpha=args.alpha,
+        window=args.window,
+        train_batches=args.batches,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    print(
+        f"training on a {args.clusters}-cluster full simulation "
+        f"({config.duration_s * 1e3:.0f} ms @ {config.load:.0%} load)..."
+    )
+    trained, full_output = train_reusable_model(config, micro=micro)
+    trained.save(args.output)
+    rows = [[key, value] for key, value in sorted(trained.training_summary.items())]
+    print(format_table(["training metric", "value"], rows))
+    print(f"saved model bundle to {args.output}")
+    _print_run(full_output.result, "ground-truth run")
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    try:
+        trained = TrainedClusterModel.load(args.model)
+    except FileNotFoundError as error:
+        print(f"error: cannot load model bundle: {error}", file=sys.stderr)
+        return 2
+    config = _experiment_from_args(args)
+    hybrid_config = HybridConfig(
+        full_cluster=args.full_cluster,
+        elide_remote_traffic=not args.keep_remote_traffic,
+        single_black_box=args.single_black_box,
+    )
+    result, _ = run_hybrid_simulation(config, trained, hybrid=hybrid_config)
+    mode = "single-black-box" if args.single_black_box else "per-cluster"
+    _print_run(result, f"hybrid simulation ({mode}): {args.clusters} clusters")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    try:
+        trained = TrainedClusterModel.load(args.model)
+    except FileNotFoundError as error:
+        print(f"error: cannot load model bundle: {error}", file=sys.stderr)
+        return 2
+    from repro.core.evaluation import evaluate_on_records
+    from repro.core.features import RegionFeatureExtractor
+    from repro.core.pipeline import run_full_simulation
+
+    config = _experiment_from_args(args)
+    print(
+        f"collecting a held-out trace: {args.clusters}-cluster full "
+        f"simulation ({config.duration_s * 1e3:.0f} ms @ {config.load:.0%})..."
+    )
+    output = run_full_simulation(config, collect_cluster=args.region_cluster)
+    if not output.records:
+        print("error: trace is empty; increase --duration or --load", file=sys.stderr)
+        return 1
+    extractor = RegionFeatureExtractor(
+        output.extractor.topology, output.extractor.routing, args.region_cluster
+    )
+    results = evaluate_on_records(trained, output.records, extractor)
+    rows = []
+    for direction, ev in results.items():
+        rows.append([
+            direction.value,
+            ev.samples,
+            f"{ev.drop_rate_true:.4f}",
+            f"{ev.drop_rate_predicted:.4f}",
+            "-" if ev.drop_auc is None else f"{ev.drop_auc:.3f}",
+            f"{ev.latency_log_mae:.3f}",
+            f"{ev.latency_median_relative_error:.2f}",
+        ])
+    print(format_table(
+        ["direction", "samples", "drop_true", "drop_pred", "drop_auc",
+         "log_mae", "median_rel_err"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print(
+        "reproduction of: Kazer et al., 'Fast Network Simulation Through "
+        "Approximation' (HotNets-XVII, 2018)"
+    )
+    print(f"micro-model features ({len(FEATURE_NAMES)}):")
+    for name in FEATURE_NAMES:
+        print(f"  - {name}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="approximate data center network simulation (HotNets'18 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="full packet-level simulation")
+    _add_experiment_arguments(simulate)
+    simulate.add_argument(
+        "--matrix", choices=("uniform", "permutation", "incast"), default="uniform",
+        help="traffic matrix (endpoint selection policy)",
+    )
+    simulate.add_argument(
+        "--trace-csv", default=None, help="write a raw packet/event trace CSV here"
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    train = commands.add_parser("train", help="train a reusable cluster model")
+    _add_experiment_arguments(train)
+    train.add_argument("--output", required=True, help="model bundle directory")
+    train.add_argument("--hidden", type=int, default=32, help="hidden units per layer")
+    train.add_argument("--layers", type=int, default=1, help="recurrent layers")
+    train.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
+    train.add_argument("--alpha", type=float, default=0.5, help="joint-loss latency weight")
+    train.add_argument("--window", type=int, default=16, help="BPTT window length")
+    train.add_argument("--batches", type=int, default=300, help="SGD steps")
+    train.add_argument("--learning-rate", type=float, default=3e-3)
+    train.set_defaults(handler=_cmd_train)
+
+    hybrid = commands.add_parser("hybrid", help="run an approximate simulation")
+    _add_experiment_arguments(hybrid)
+    hybrid.add_argument("--model", required=True, help="model bundle directory")
+    hybrid.add_argument("--full-cluster", type=int, default=0)
+    hybrid.add_argument(
+        "--keep-remote-traffic", action="store_true",
+        help="simulate traffic between approximated clusters too",
+    )
+    hybrid.add_argument(
+        "--single-black-box", action="store_true",
+        help="replace everything outside the full cluster with one model (Section 7)",
+    )
+    hybrid.set_defaults(handler=_cmd_hybrid)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score a model bundle against a fresh ground-truth trace"
+    )
+    _add_experiment_arguments(evaluate)
+    evaluate.add_argument("--model", required=True, help="model bundle directory")
+    evaluate.add_argument(
+        "--region-cluster", type=int, default=1,
+        help="cluster whose boundary to trace and predict",
+    )
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    info = commands.add_parser("info", help="version and model feature list")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's contribution: ML-approximated network regions.
+
+This package implements Sections 3-5 of the paper:
+
+* :mod:`repro.core.macro` — the four-state auto-regressive congestion
+  classifier (Section 4.1).
+* :mod:`repro.core.features` — per-packet feature extraction from
+  headers, simulation time, and routing knowledge (Section 4.2).
+* :mod:`repro.core.micro` — the two-layer LSTM micro model with fully
+  connected drop and latency heads (Section 4.2).
+* :mod:`repro.core.training` — trace collection on a full-fidelity
+  simulation, dataset construction, SGD training, and the serializable
+  :class:`~repro.core.training.TrainedClusterModel` bundle.
+* :mod:`repro.core.cluster_model` — the black-box DES entity that
+  replaces a cluster fabric at simulation time, with the paper's
+  first-come-first-served conflict resolution.
+* :mod:`repro.core.hybrid` — assembly of hybrid simulations: one full
+  cluster + all core switches in full fidelity, everything else
+  approximated (Section 5).
+* :mod:`repro.core.pipeline` — the Figure 3 workflow end to end.
+"""
+
+from repro.core.features import Direction, FEATURE_COUNT, FEATURE_NAMES, RegionFeatureExtractor
+from repro.core.hybrid import BLACK_BOX_KEY, HybridConfig, HybridSimulation
+from repro.core.region import Region
+from repro.core.macro import (
+    AutoRegressiveMacroClassifier,
+    MacroCalibration,
+    MacroState,
+    calibrate_macro,
+)
+from repro.core.micro import MicroModel, MicroModelConfig
+from repro.core.cluster_model import ApproximatedCluster
+from repro.core.evaluation import DirectionEvaluation, evaluate_on_records
+from repro.core.pipeline import (
+    ExperimentConfig,
+    FullRunOutput,
+    RunResult,
+    run_full_simulation,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.training import (
+    PacketCrossing,
+    RegionTraceCollector,
+    TrainedClusterModel,
+    train_cluster_model,
+    train_micro_model,
+)
+
+__all__ = [
+    "ApproximatedCluster",
+    "BLACK_BOX_KEY",
+    "AutoRegressiveMacroClassifier",
+    "Direction",
+    "DirectionEvaluation",
+    "ExperimentConfig",
+    "FEATURE_COUNT",
+    "FEATURE_NAMES",
+    "FullRunOutput",
+    "HybridConfig",
+    "HybridSimulation",
+    "MacroCalibration",
+    "MacroState",
+    "MicroModel",
+    "MicroModelConfig",
+    "PacketCrossing",
+    "Region",
+    "RegionFeatureExtractor",
+    "RegionTraceCollector",
+    "RunResult",
+    "TrainedClusterModel",
+    "calibrate_macro",
+    "evaluate_on_records",
+    "run_full_simulation",
+    "run_hybrid_simulation",
+    "train_cluster_model",
+    "train_micro_model",
+    "train_reusable_model",
+]

@@ -1,0 +1,217 @@
+"""The approximated cluster: an ML black box standing in for a fabric.
+
+Figure 3 (right): large-scale simulations replace the four switches of
+each approximated cluster "with a single black box approximation".
+This entity is that box.  Any port wired to a switch of the replaced
+cluster delivers here instead; per packet it
+
+1. extracts features (same stateful extractor as training),
+2. steps the direction's LSTM (one hidden state per direction,
+   carried across the whole simulation — the model's "memory" of the
+   cluster's congestion history),
+3. decides drop vs. deliver, and for deliveries schedules a single
+   egress event after the predicted latency,
+4. feeds its own prediction to the macro classifier so the macro-state
+   feature evolves as it did during training.
+
+Conflict resolution (Section 4.2): "predicted latency can sometimes
+result in impossible schedules if two packets are scheduled for the
+same time.  In this case, the one processed first is given priority,
+with conflicting packet sent at the next possible time."  We keep the
+last scheduled delivery per egress node and push conflicting packets
+to one serialization time after it.
+
+Everything the fabric would have done — per-hop queuing, routing,
+per-packet forwarding events — is elided; this is where the paper's
+event-count savings come from (counted in ``fabric_events_elided``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.features import Direction, RegionFeatureExtractor
+from repro.core.macro import AutoRegressiveMacroClassifier
+from repro.core.region import Region
+from repro.core.training import TrainedClusterModel
+from repro.des.entities import Entity
+from repro.des.kernel import Simulator
+from repro.net.packet import Packet
+from repro.topology.graph import Topology
+from repro.topology.routing import EcmpRouting
+
+#: Latency floor: one hop of propagation (the shortest region traversal
+#: is ToR -> server); the model can never beat physics no matter what
+#: the regression head says.
+MIN_REGION_LATENCY_S = 1e-6
+#: Latency ceiling guard against wild extrapolation early in training.
+MAX_REGION_LATENCY_S = 1.0
+
+
+class ApproximatedCluster(Entity):
+    """ML approximation of one cluster's fabric.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    topology, routing:
+        Full-topology structures (routing features need them).
+    region:
+        What this box replaces — a :class:`~repro.core.region.Region`,
+        or a bare cluster index as shorthand for the paper's
+        one-cluster unit of approximation.
+    trained:
+        The model bundle produced by training.
+    resolve_entity:
+        Callback name -> entity used to deliver egress packets (hosts
+        of this cluster and core switches); late-bound because the
+        network is constructed after the models.
+    rng:
+        Random stream for sampling the drop Bernoulli.
+    macro_bucket_s:
+        Macro classifier bucket (match training for consistency).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        routing: EcmpRouting,
+        region: Region | int,
+        trained: TrainedClusterModel,
+        resolve_entity: Callable[[str], object],
+        rng: np.random.Generator,
+        macro_bucket_s: float = 0.001,
+    ) -> None:
+        if isinstance(region, int):
+            region = Region.cluster(topology, region)
+        super().__init__(sim, f"approx-{region.name}")
+        self.topology = topology
+        self.routing = routing
+        self.region = region
+        self.trained = trained
+        self.resolve_entity = resolve_entity
+        self.rng = rng
+
+        self.extractor = RegionFeatureExtractor(topology, routing, region)
+        self.macro = AutoRegressiveMacroClassifier(
+            trained.calibration, bucket_s=macro_bucket_s
+        )
+        self._states = {
+            direction: bundle.model.initial_state()
+            for direction, bundle in trained.directions.items()
+        }
+        # Conflict resolution state: last scheduled delivery per egress node.
+        self._last_delivery: dict[str, float] = {}
+        self._egress_cache: dict[tuple[str, str, int, int], str] = {}
+        self._boundary_cache: dict[str, str] = {}
+        self._rate_cache: dict[str, float] = {}
+
+        # Statistics.
+        self.packets_handled = 0
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+        self.conflicts_resolved = 0
+        self.predicted_latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, from_node: str) -> None:
+        """Handle one packet crossing into the approximated region."""
+        self.packets_handled += 1
+        now = self.now
+        direction = self.extractor.direction_of(packet)
+        bundle = self.trained.directions.get(direction)
+        if bundle is None:
+            # Direction unseen in training (possible in tiny traces):
+            # fall back to the other direction's model.
+            direction = next(iter(self.trained.directions))
+            bundle = self.trained.directions[direction]
+        features = self.extractor.extract(packet, now, self.macro.state, direction=direction)
+        normalized = bundle.feature_standardizer.transform(features)
+        drop_prob, latency_norm, new_state = bundle.model.predict_step(
+            normalized, self._states[direction], macro_index=self.macro.state.value - 1
+        )
+        self._states[direction] = new_state
+
+        if self.rng.random() < drop_prob:
+            self.packets_dropped += 1
+            self.macro.observe(now, dropped=True)
+            return
+
+        latency = bundle.latency_from_norm(latency_norm)
+        latency = min(max(latency, MIN_REGION_LATENCY_S), MAX_REGION_LATENCY_S)
+        self.predicted_latencies.append(latency)
+        self.macro.observe(now, latency_s=latency)
+
+        target = self._egress_node(packet, direction)
+        boundary = self._boundary_node(target)
+        deliver_at = self._resolve_conflict(target, now + latency, packet)
+        entity = self.resolve_entity(target)
+        self.packets_delivered += 1
+        self.sim.schedule_at(
+            deliver_at,
+            lambda e=entity, p=packet, b=boundary: e.receive(p, b),
+        )
+
+    # ------------------------------------------------------------------
+    def _egress_node(self, packet: Packet, direction: Direction) -> str:
+        """Where the packet re-enters full-fidelity simulation.
+
+        Destination inside the cluster -> its server host.  Otherwise
+        -> the core switch on the packet's (deterministic) ECMP path.
+        """
+        if direction is Direction.INGRESS:
+            return packet.dst
+        key = packet.flow_tuple
+        cached = self._egress_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self.routing.path(packet.src, packet.dst, packet.flow_hash())
+        egress = self.region.egress_node_on_path(path)
+        self._egress_cache[key] = egress
+        return egress
+
+    def _boundary_node(self, target: str) -> str:
+        """The region node the packet notionally arrives *from*.
+
+        Receivers use it only as the ``from_node`` argument; any
+        adjacent region node is equivalent because forwarding is
+        destination-based.
+        """
+        cached = self._boundary_cache.get(target)
+        if cached is not None:
+            return cached
+        result = self.name
+        for neighbor in self.topology.neighbors(target):
+            if self.region.contains_switch(neighbor):
+                result = neighbor
+                break
+        self._boundary_cache[target] = result
+        return result
+
+    def _resolve_conflict(self, target: str, deliver_at: float, packet: Packet) -> float:
+        """First-come-first-served serialization of same-time egresses."""
+        link_rate = self._egress_link_rate(target)
+        serialization = packet.size_bytes * 8.0 / link_rate
+        last = self._last_delivery.get(target)
+        if last is not None and deliver_at < last + serialization:
+            deliver_at = last + serialization
+            self.conflicts_resolved += 1
+        self._last_delivery[target] = deliver_at
+        return deliver_at
+
+    def _egress_link_rate(self, target: str) -> float:
+        """Rate of the link the packet would use to leave the region."""
+        cached = self._rate_cache.get(target)
+        if cached is not None:
+            return cached
+        rate = 10e9
+        for neighbor in self.topology.neighbors(target):
+            if self.region.contains_switch(neighbor):
+                rate = self.topology.link_between(target, neighbor).rate_bps
+                break
+        self._rate_cache[target] = rate
+        return rate

@@ -1,0 +1,223 @@
+"""Per-packet feature extraction for the micro models.
+
+Section 4.2 lists the features: "the origin and destination servers;
+the ToR, Cluster, and Core switches that the packet would pass through
+in the cluster replaced by approximation; the time since the last
+packet arrived at the model; a moving average of these times; and
+finally, the current macro state of the cluster" — all computable
+"directly from the packet header information, simulation time, and
+knowledge of routing strategy."
+
+The extractor is *stateful* (inter-arrival clocks per direction) and
+shared verbatim between trace collection and hybrid inference so the
+two phases can never drift apart on feature semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.core.macro import MacroState
+from repro.core.region import Region
+from repro.net.packet import Packet
+from repro.topology.graph import NodeRole, Topology
+from repro.topology.routing import EcmpRouting
+
+#: Documented order of the feature vector produced by the extractor.
+FEATURE_NAMES: tuple[str, ...] = (
+    "src_cluster",
+    "src_tor",
+    "src_slot",
+    "dst_cluster",
+    "dst_tor",
+    "dst_slot",
+    "path_tor_in",
+    "path_agg",
+    "path_core",
+    "path_tor_out",
+    "has_core_hop",
+    "gap_log_us",
+    "gap_ema_log_us",
+    "size_frac",
+    "is_ack",
+    "is_retransmission",
+    "direction_ingress",
+    "macro_minimal",
+    "macro_increasing",
+    "macro_high",
+    "macro_decreasing",
+)
+
+FEATURE_COUNT = len(FEATURE_NAMES)
+
+
+class Direction(Enum):
+    """Which micro model handles a packet (paper trains one per
+    direction because "the distribution of flows in either direction
+    can differ significantly")."""
+
+    INGRESS = "ingress"  # destination server lives inside the cluster
+    EGRESS = "egress"  # destination is outside: packet exits via core
+
+
+@dataclass
+class _DirectionClock:
+    """Inter-arrival state for one direction of one cluster."""
+
+    last_arrival: Optional[float] = None
+    gap_ema: Optional[float] = None
+
+
+def _log_us(gap_s: float) -> float:
+    """Compress a time gap to a well-scaled feature: log1p(microseconds)."""
+    return math.log1p(max(gap_s, 0.0) * 1e6)
+
+
+class RegionFeatureExtractor:
+    """Feature computation for one approximated cluster.
+
+    Parameters
+    ----------
+    topology:
+        The *full* topology (routing knowledge of the replaced fabric
+        is explicitly allowed as a model input).
+    routing:
+        ECMP tables over the full topology.
+    region:
+        The approximated region this extractor describes — a
+        :class:`~repro.core.region.Region`, or a bare cluster index as
+        shorthand for ``Region.cluster(topology, index)``.
+    ema_alpha:
+        Smoothing for the inter-arrival moving average.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: EcmpRouting,
+        region: Region | int,
+        ema_alpha: float = 0.1,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing
+        if isinstance(region, int):
+            region = Region.cluster(topology, region)
+        self.region = region
+        self.ema_alpha = ema_alpha
+
+        servers = topology.servers()
+        self._num_clusters = max(len(topology.cluster_ids()), 1)
+        self._server_info: dict[str, tuple[int, int, int]] = {}
+        max_tor = 1
+        max_slot = 1
+        for server in servers:
+            tor_name = next(
+                nbr
+                for nbr in topology.neighbors(server.name)
+                if topology.node(nbr).role is NodeRole.TOR
+            )
+            tor_index = topology.node(tor_name).index
+            slot = server.index
+            cluster_index = server.cluster if server.cluster is not None else 0
+            self._server_info[server.name] = (cluster_index, tor_index, slot)
+            max_tor = max(max_tor, tor_index + 1)
+            max_slot = max(max_slot, slot + 1)
+        self._max_tor = max_tor
+        self._max_slot = max_slot
+        cores = topology.nodes_with_role(NodeRole.CORE)
+        self._num_cores = max(len(cores), 1)
+        self._clocks = {Direction.INGRESS: _DirectionClock(), Direction.EGRESS: _DirectionClock()}
+        self._path_cache: dict[tuple[str, str, int, int], tuple[float, float, float, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def direction_of(self, packet: Packet) -> Direction:
+        """INGRESS if the packet terminates behind this region."""
+        if self.region.is_shadow_server(packet.dst):
+            return Direction.INGRESS
+        return Direction.EGRESS
+
+    def _path_features(self, packet: Packet) -> tuple[float, float, float, float, float]:
+        """Normalized indices of the region switches on the ECMP path.
+
+        Returns (tor_in, agg, core, tor_out, has_core) where absent
+        hops are encoded as 0 with ``has_core`` flagging core usage.
+        """
+        key = packet.flow_tuple
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self.routing.path(packet.src, packet.dst, packet.flow_hash())
+        tor_in = agg = core = tor_out = 0.0
+        has_core = 0.0
+        seen_tor = False
+        for name in path:
+            node = self.topology.node(name)
+            if node.role is NodeRole.CORE:
+                core = (node.index + 1) / self._num_cores
+                has_core = 1.0
+            elif self.region.contains_switch(name):
+                if node.role is NodeRole.TOR:
+                    value = (node.index + 1) / self._max_tor
+                    if not seen_tor:
+                        tor_in = value
+                        seen_tor = True
+                    else:
+                        tor_out = value
+                elif node.role is NodeRole.CLUSTER:
+                    agg = (node.index + 1) / self._max_tor
+        result = (tor_in, agg, core, tor_out, has_core)
+        self._path_cache[key] = result
+        return result
+
+    def extract(
+        self,
+        packet: Packet,
+        now: float,
+        macro_state: MacroState,
+        direction: Optional[Direction] = None,
+    ) -> np.ndarray:
+        """Compute the feature vector for a packet arriving at ``now``.
+
+        Advances the direction's inter-arrival clock as a side effect
+        (each packet *is* an arrival).  Callers that already classified
+        the packet pass ``direction`` to skip the second lookup.
+        """
+        if direction is None:
+            direction = self.direction_of(packet)
+        clock = self._clocks[direction]
+        gap = 0.0 if clock.last_arrival is None else now - clock.last_arrival
+        clock.last_arrival = now
+        if clock.gap_ema is None:
+            clock.gap_ema = gap
+        else:
+            clock.gap_ema += self.ema_alpha * (gap - clock.gap_ema)
+
+        src_cluster, src_tor, src_slot = self._server_info[packet.src]
+        dst_cluster, dst_tor, dst_slot = self._server_info[packet.dst]
+        tor_in, agg, core, tor_out, has_core = self._path_features(packet)
+
+        features = np.empty(FEATURE_COUNT)
+        features[0] = (src_cluster + 1) / self._num_clusters
+        features[1] = (src_tor + 1) / self._max_tor
+        features[2] = (src_slot + 1) / self._max_slot
+        features[3] = (dst_cluster + 1) / self._num_clusters
+        features[4] = (dst_tor + 1) / self._max_tor
+        features[5] = (dst_slot + 1) / self._max_slot
+        features[6] = tor_in
+        features[7] = agg
+        features[8] = core
+        features[9] = tor_out
+        features[10] = has_core
+        features[11] = _log_us(gap)
+        features[12] = _log_us(clock.gap_ema)
+        features[13] = packet.size_bytes / 1500.0
+        features[14] = 1.0 if packet.is_ack_only() else 0.0
+        features[15] = 1.0 if packet.retransmission else 0.0
+        features[16] = 1.0 if direction is Direction.INGRESS else 0.0
+        features[17:21] = macro_state.one_hot()
+        return features

@@ -1,0 +1,221 @@
+"""Hybrid simulation assembly: one full cluster + N-1 approximations.
+
+Section 5: "In our prototype, a single cluster and all core switches
+are implemented in full fidelity.  Approximated clusters run full TCP
+stacks because it is more efficient to implement them than try to
+learn the TCP state machine."  This module builds exactly that
+configuration:
+
+* the full-fidelity cluster keeps its real switches;
+* every other cluster's ToR and Cluster switches are excluded from the
+  network, and every port that pointed at them is rewired to that
+  cluster's :class:`~repro.core.cluster_model.ApproximatedCluster`;
+* all hosts everywhere are real (full TCP stacks);
+* all core switches are real;
+* optionally, flows whose endpoints both avoid the full-fidelity
+  cluster are elided from the schedule (Section 6.2's second source of
+  speedup — they "do not directly affect the measurements of the fully
+  simulated cluster").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.cluster_model import ApproximatedCluster
+from repro.core.region import Region
+from repro.core.training import TrainedClusterModel
+
+#: Key under which the rest-of-network model appears in
+#: :attr:`HybridSimulation.models` when single-black-box mode is on.
+BLACK_BOX_KEY = -1
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.topology.graph import NodeRole, Topology
+from repro.topology.routing import EcmpRouting
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Options of a hybrid assembly.
+
+    Attributes
+    ----------
+    full_cluster:
+        Index of the cluster kept at full fidelity (the observation
+        region; data center symmetry makes the choice arbitrary).
+    elide_remote_traffic:
+        Skip flows between two approximated clusters entirely.
+    macro_bucket_s:
+        Macro classifier bucket for the runtime classifiers.
+    single_black_box:
+        Section 7's limit case: instead of one model per approximated
+        cluster, replace *everything* outside the full cluster — core
+        layer included — with one rest-of-network model.  The trained
+        bundle should then come from a rest-of-network trace
+        (``Region.rest_of_network``), not a single-cluster trace.
+    """
+
+    full_cluster: int = 0
+    elide_remote_traffic: bool = True
+    macro_bucket_s: float = 0.001
+    single_black_box: bool = False
+
+
+class HybridSimulation:
+    """A network where most cluster fabrics are ML models.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to build into.
+    topology:
+        The full Clos topology (all clusters, as if fully simulated).
+    trained:
+        The reusable cluster model (trained on a small topology) — the
+        paper's configuration, where data center symmetry lets one
+        model stand in for every cluster.  Alternatively a mapping
+        ``cluster index -> model`` assigns independently trained models
+        per cluster (the Section 7 "trained independently" question);
+        it must cover every approximated cluster.
+    net_config:
+        Queue/TCP parameters — should match what training used.
+    config:
+        Hybrid options.
+
+    Attributes
+    ----------
+    network:
+        The underlying :class:`~repro.net.network.Network` with
+        approximated fabrics excluded.
+    models:
+        cluster index -> :class:`ApproximatedCluster`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        trained: Union[TrainedClusterModel, Mapping[int, TrainedClusterModel]],
+        net_config: Optional[NetworkConfig] = None,
+        config: Optional[HybridConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.trained = trained
+        self.config = config or HybridConfig()
+        net_config = net_config or NetworkConfig()
+
+        cluster_ids = topology.cluster_ids()
+        if self.config.full_cluster not in cluster_ids:
+            raise ValueError(
+                f"full_cluster={self.config.full_cluster} not in topology clusters {cluster_ids}"
+            )
+        self.full_cluster = self.config.full_cluster
+        self.approx_clusters = [c for c in cluster_ids if c != self.full_cluster]
+
+        routing = EcmpRouting(topology)
+        self.models: dict[int, ApproximatedCluster] = {}
+        overrides: dict[str, ApproximatedCluster] = {}
+        excluded: set[str] = set()
+        per_cluster_models = isinstance(trained, Mapping)
+        if self.config.single_black_box:
+            if per_cluster_models:
+                raise ValueError(
+                    "single_black_box mode takes one rest-of-network model, "
+                    "not a per-cluster mapping"
+                )
+            region = Region.rest_of_network(topology, self.full_cluster)
+            model = ApproximatedCluster(
+                sim=sim,
+                topology=topology,
+                routing=routing,
+                region=region,
+                trained=trained,
+                resolve_entity=self._resolve_entity,
+                rng=sim.rng.stream("approx-blackbox.drops"),
+                macro_bucket_s=self.config.macro_bucket_s,
+            )
+            self.models[BLACK_BOX_KEY] = model
+            for name in region.switches:
+                excluded.add(name)
+                overrides[name] = model
+        else:
+            if per_cluster_models:
+                missing = [c for c in self.approx_clusters if c not in trained]
+                if missing:
+                    raise ValueError(
+                        f"per-cluster model mapping is missing clusters {missing}"
+                    )
+            for cluster in self.approx_clusters:
+                model = ApproximatedCluster(
+                    sim=sim,
+                    topology=topology,
+                    routing=routing,
+                    region=cluster,
+                    trained=trained[cluster] if per_cluster_models else trained,
+                    resolve_entity=self._resolve_entity,
+                    rng=sim.rng.stream(f"approx-cluster-{cluster}.drops"),
+                    macro_bucket_s=self.config.macro_bucket_s,
+                )
+                self.models[cluster] = model
+                for node in topology.cluster_nodes(cluster):
+                    if node.role in (NodeRole.TOR, NodeRole.CLUSTER):
+                        excluded.add(node.name)
+                        overrides[node.name] = model
+
+        self.network = Network(
+            sim,
+            topology,
+            config=net_config,
+            routing=routing,
+            excluded_nodes=excluded,
+            receiver_overrides=overrides,
+        )
+        self._cluster_of = {
+            node.name: node.cluster for node in topology.servers()
+        }
+
+    # ------------------------------------------------------------------
+    def _resolve_entity(self, name: str) -> object:
+        """Late-bound entity lookup for model egress deliveries."""
+        host = self.network.hosts.get(name)
+        if host is not None:
+            return host
+        return self.network.switches[name]
+
+    # ------------------------------------------------------------------
+    def flow_filter(self, src: str, dst: str) -> bool:
+        """Keep a flow iff it touches the full-fidelity cluster.
+
+        With ``elide_remote_traffic`` disabled, everything is kept
+        (approximated clusters then also carry background traffic).
+        """
+        if not self.config.elide_remote_traffic:
+            return True
+        return (
+            self._cluster_of[src] == self.full_cluster
+            or self._cluster_of[dst] == self.full_cluster
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def model_packets_handled(self) -> int:
+        """Packets processed by all approximated clusters."""
+        return sum(m.packets_handled for m in self.models.values())
+
+    def model_drops(self) -> int:
+        """Packets dropped by model decisions."""
+        return sum(m.packets_dropped for m in self.models.values())
+
+    def observed_rtt_samples(self) -> list[float]:
+        """RTTs observed by the full-fidelity cluster's hosts.
+
+        The paper draws its accuracy comparison (Figure 4) from the
+        fully simulated region.
+        """
+        return self.network.rtt_monitor(self.full_cluster).values.tolist()

@@ -1,0 +1,183 @@
+"""The macro model: a four-state auto-regressive congestion classifier.
+
+Section 4.1 of the paper identifies four macro states in cluster
+latency/drop data and classifies them with "a simple and fast
+auto-regressive model": based on previously observed latency and drop
+rates, low latency means state (1) minimal congestion; high drops mean
+the high-congestion regime; otherwise states (2) increasing and (4)
+decreasing congestion are distinguished by whether latency and drops
+are rising or falling relative to the recent past.
+
+(The paper's text assigns the "drops are relatively high" rule to
+state (4); given the state definitions — (3) is "high congestion,
+where a significant number of packets are being dropped due to full
+queues" — that is a typo, and we map high drops to state (3).  The
+discrepancy only relabels one state; the classifier structure is
+unchanged.)
+
+The classifier is *auto-regressive* in the simple sense the paper
+means: its inputs are exponential moving averages of its own past
+observations, and the rising/falling decision compares the current
+EMA against its previous value (a first-order AR comparison).  The
+same object serves training (fed ground-truth observations) and hybrid
+simulation (fed the micro model's own predictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class MacroState(IntEnum):
+    """The four congestion regimes of Section 4.1."""
+
+    MINIMAL = 1
+    INCREASING = 2
+    HIGH = 3
+    DECREASING = 4
+
+    def one_hot(self) -> np.ndarray:
+        """4-vector encoding used as a micro-model feature."""
+        vec = np.zeros(4)
+        vec[self.value - 1] = 1.0
+        return vec
+
+
+@dataclass(frozen=True)
+class MacroCalibration:
+    """Thresholds learned from a training trace.
+
+    Attributes
+    ----------
+    latency_low_s:
+        Below this EMA latency the cluster is in MINIMAL congestion.
+    drop_rate_high:
+        Above this EMA drop fraction the cluster is in HIGH congestion.
+    """
+
+    latency_low_s: float
+    drop_rate_high: float
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Serialization helper."""
+        return {
+            "latency_low_s": np.asarray(self.latency_low_s),
+            "drop_rate_high": np.asarray(self.drop_rate_high),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "MacroCalibration":
+        """Inverse of :meth:`as_arrays`."""
+        return cls(
+            latency_low_s=float(arrays["latency_low_s"]),
+            drop_rate_high=float(arrays["drop_rate_high"]),
+        )
+
+
+def calibrate_macro(
+    latencies_s: Iterable[float],
+    drop_flags: Iterable[int],
+    latency_quantile: float = 0.25,
+    drop_scale: float = 2.0,
+) -> MacroCalibration:
+    """Derive thresholds from a ground-truth region trace.
+
+    ``latency_low_s`` is the given quantile of observed latencies
+    (periods calmer than the lower quartile count as minimal
+    congestion); ``drop_rate_high`` is ``drop_scale`` times the mean
+    drop rate, floored at 0.5% so noise-free traces don't make every
+    stray drop scream HIGH.
+    """
+    latencies = np.asarray(list(latencies_s), dtype=np.float64)
+    drops = np.asarray(list(drop_flags), dtype=np.float64)
+    if latencies.size == 0:
+        raise ValueError("cannot calibrate on an empty latency trace")
+    latency_low = float(np.quantile(latencies, latency_quantile))
+    drop_high = max(float(drops.mean()) * drop_scale, 0.005) if drops.size else 0.005
+    return MacroCalibration(latency_low_s=latency_low, drop_rate_high=drop_high)
+
+
+class AutoRegressiveMacroClassifier:
+    """Streaming four-state classifier over per-packet observations.
+
+    Parameters
+    ----------
+    calibration:
+        Thresholds (see :func:`calibrate_macro`).
+    bucket_s:
+        State is re-evaluated once per bucket of simulated time —
+        the "seconds scale" of the paper's two-timescale analysis,
+        scaled down with our shorter simulations.
+    ema_alpha:
+        Smoothing factor for the latency/drop EMAs.
+    """
+
+    def __init__(
+        self,
+        calibration: MacroCalibration,
+        bucket_s: float = 0.001,
+        ema_alpha: float = 0.2,
+    ) -> None:
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+        if not 0 < ema_alpha <= 1:
+            raise ValueError(f"ema_alpha must be in (0, 1], got {ema_alpha}")
+        self.calibration = calibration
+        self.bucket_s = bucket_s
+        self.ema_alpha = ema_alpha
+        self.state = MacroState.MINIMAL
+        self._latency_ema: Optional[float] = None
+        self._prev_latency_ema: Optional[float] = None
+        self._drop_ema = 0.0
+        self._bucket_index: Optional[int] = None
+
+    def observe(self, now: float, latency_s: Optional[float] = None, dropped: bool = False) -> None:
+        """Feed one packet outcome (a latency, a drop, or both).
+
+        In training this receives ground truth; during hybrid
+        simulation it receives the micro model's own predictions, so
+        the macro state reflects what the approximation is doing.
+        """
+        bucket = int(now / self.bucket_s)
+        if self._bucket_index is None:
+            self._bucket_index = bucket
+        elif bucket != self._bucket_index:
+            self._reclassify()
+            self._bucket_index = bucket
+        a = self.ema_alpha
+        if latency_s is not None:
+            if self._latency_ema is None:
+                self._latency_ema = latency_s
+            else:
+                self._latency_ema += a * (latency_s - self._latency_ema)
+        self._drop_ema += a * ((1.0 if dropped else 0.0) - self._drop_ema)
+
+    def _reclassify(self) -> None:
+        latency = self._latency_ema
+        if latency is None:
+            self.state = MacroState.MINIMAL
+            return
+        previous = self._prev_latency_ema if self._prev_latency_ema is not None else latency
+        self._prev_latency_ema = latency
+        if self._drop_ema >= self.calibration.drop_rate_high:
+            self.state = MacroState.HIGH
+        elif latency <= self.calibration.latency_low_s:
+            self.state = MacroState.MINIMAL
+        elif latency >= previous:
+            self.state = MacroState.INCREASING
+        else:
+            self.state = MacroState.DECREASING
+
+    @property
+    def latency_ema(self) -> Optional[float]:
+        """Current latency EMA (None before any latency observation)."""
+        return self._latency_ema
+
+    @property
+    def drop_ema(self) -> float:
+        """Current drop-rate EMA."""
+        return self._drop_ema

@@ -1,0 +1,267 @@
+"""End-to-end experiment pipeline (the workflow of Figure 3).
+
+Stage 1 — :func:`run_full_simulation`: full packet-level fidelity,
+optionally recording one cluster's boundary crossings.
+
+Stage 2 — :func:`train_reusable_model`: briefly simulate a small
+(default two-cluster) network, train the ingress/egress micro models
+on the recorded crossings.
+
+Stage 3 — :func:`run_hybrid_simulation`: assemble a (typically larger)
+topology with all but one cluster approximated and run the same
+workload family.
+
+The result objects carry the measurements every benchmark needs:
+wall-clock seconds of event processing (the kernel excludes setup),
+executed event counts, RTT samples from the observed cluster, FCTs,
+and drop totals.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.features import RegionFeatureExtractor
+from repro.core.hybrid import HybridConfig, HybridSimulation
+from repro.core.region import Region
+from repro.core.micro import MicroModelConfig
+from repro.core.training import (
+    PacketCrossing,
+    RegionTraceCollector,
+    TrainedClusterModel,
+    train_cluster_model,
+)
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.routing import EcmpRouting
+from repro.traffic.apps import TrafficGenerator
+from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.traffic.distributions import EmpiricalSizeDistribution, web_search_sizes
+from repro.traffic.matrix import IncastMatrix, PermutationMatrix, TrafficMatrix, UniformMatrix
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Workload and topology parameters shared by all pipeline stages.
+
+    Attributes
+    ----------
+    clos:
+        Topology shape (the evaluation's clusters have four switches
+        and eight servers — :class:`ClosParams` defaults).
+    load:
+        Offered load as a fraction of server access capacity.
+    duration_s:
+        Simulated time window.
+    seed:
+        Master seed (workload and simulation randomness).
+    net:
+        Queue and TCP parameters.
+    intra_cluster_fraction:
+        Optional locality bias of the traffic matrix.
+    matrix:
+        Endpoint-selection policy: "uniform" (the evaluation default),
+        "permutation", or "incast" — the generality ablation (A6)
+        trains under one and evaluates under another.
+    """
+
+    clos: ClosParams = field(default_factory=ClosParams)
+    load: float = 0.25
+    duration_s: float = 0.02
+    seed: int = 1
+    net: NetworkConfig = field(default_factory=NetworkConfig)
+    intra_cluster_fraction: Optional[float] = None
+    matrix: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.matrix not in ("uniform", "permutation", "incast"):
+            raise ValueError(
+                f"matrix must be uniform|permutation|incast, got {self.matrix!r}"
+            )
+
+    def sizes(self) -> EmpiricalSizeDistribution:
+        """The flow-size distribution (the paper's web-search trace)."""
+        return web_search_sizes()
+
+
+@dataclass
+class RunResult:
+    """Measurements from one simulation run (full or hybrid)."""
+
+    sim_seconds: float
+    wallclock_seconds: float
+    events_executed: int
+    flows_started: int
+    flows_completed: int
+    flows_elided: int
+    drops: int
+    rtt_samples: list[float]
+    fcts: list[float]
+    model_packets: int = 0
+    model_drops: int = 0
+
+    @property
+    def sim_seconds_per_second(self) -> float:
+        """Simulated seconds per wall-clock second (Figure 1's metric)."""
+        if self.wallclock_seconds <= 0:
+            return float("inf")
+        return self.sim_seconds / self.wallclock_seconds
+
+
+@dataclass
+class FullRunOutput:
+    """A full-fidelity run plus (optionally) its training trace."""
+
+    result: RunResult
+    records: list[PacketCrossing]
+    extractor: Optional[RegionFeatureExtractor]
+
+
+def make_generator(
+    sim: Simulator,
+    network: Network,
+    config: ExperimentConfig,
+    flow_filter=None,
+) -> TrafficGenerator:
+    """Build the load-calibrated traffic generator for an experiment.
+
+    Public so custom experiment drivers (and the CLI) can assemble
+    networks manually — e.g. to attach tracers before traffic starts —
+    while keeping the exact workload semantics of the pipeline.
+    """
+    sizes = config.sizes()
+    rate = arrival_rate_for_load(
+        config.load,
+        len(network.topology.servers()),
+        next(iter(network.topology.links)).rate_bps,
+        sizes.mean(),
+    )
+    matrix = _make_matrix(sim, network, config)
+    return TrafficGenerator(
+        sim,
+        network,
+        matrix=matrix,
+        sizes=sizes,
+        arrivals=PoissonArrivals(rate),
+        flow_filter=flow_filter,
+    )
+
+
+def _make_matrix(
+    sim: Simulator, network: Network, config: ExperimentConfig
+) -> TrafficMatrix:
+    if config.matrix == "permutation":
+        return PermutationMatrix(network.topology, sim.rng.stream("traffic.permutation"))
+    if config.matrix == "incast":
+        return IncastMatrix(network.topology)
+    return UniformMatrix(
+        network.topology, intra_cluster_fraction=config.intra_cluster_fraction
+    )
+
+
+def run_full_simulation(
+    config: ExperimentConfig,
+    collect_cluster: Optional[int | Region] = None,
+    observe_cluster: int = 0,
+) -> FullRunOutput:
+    """Stage 1: full packet-level simulation.
+
+    Parameters
+    ----------
+    collect_cluster:
+        If set, instrument that region's fabric boundary and return the
+        packet-crossing trace (training input).  A cluster index is the
+        paper's configuration; a :class:`~repro.core.region.Region`
+        (e.g. ``Region.rest_of_network``) selects other boundaries.
+    observe_cluster:
+        Whose hosts' RTT samples to report (Figure 4 population).
+    """
+    topology = build_clos(config.clos)
+    sim = Simulator(seed=config.seed)
+    network = Network(sim, topology, config=config.net)
+    collector = None
+    extractor = None
+    if collect_cluster is not None:
+        collector = RegionTraceCollector(network, collect_cluster)
+        extractor = RegionFeatureExtractor(topology, network.routing, collect_cluster)
+    generator = make_generator(sim, network, config)
+    generator.start()
+    sim.run(until=config.duration_s)
+
+    records = collector.finalize() if collector is not None else []
+    result = RunResult(
+        sim_seconds=config.duration_s,
+        wallclock_seconds=sim.wallclock_elapsed,
+        events_executed=sim.events_executed,
+        flows_started=generator.flows_started,
+        flows_completed=generator.flows_completed,
+        flows_elided=generator.flows_elided,
+        drops=network.total_drops,
+        rtt_samples=network.rtt_monitor(observe_cluster).values.tolist(),
+        fcts=generator.completed_fcts(),
+    )
+    return FullRunOutput(result=result, records=records, extractor=extractor)
+
+
+def train_reusable_model(
+    config: ExperimentConfig,
+    micro: Optional[MicroModelConfig] = None,
+    collect_cluster: int | Region = 1,
+) -> tuple[TrainedClusterModel, FullRunOutput]:
+    """Stage 1 + 2: simulate small, train the cluster model.
+
+    The paper trains on a two-cluster simulation and replaces one of
+    them (Figure 3); ``config.clos.clusters`` should normally be 2.
+    Returns the trained bundle and the training run (whose RTT samples
+    serve as the ground-truth side of accuracy comparisons).
+    """
+    output = run_full_simulation(config, collect_cluster=collect_cluster)
+    if not output.records:
+        raise ValueError(
+            "training simulation produced no region crossings; "
+            "increase duration_s or load"
+        )
+    assert output.extractor is not None
+    trained = train_cluster_model(output.records, output.extractor, config=micro)
+    return trained, output
+
+
+def run_hybrid_simulation(
+    config: ExperimentConfig,
+    trained: TrainedClusterModel,
+    hybrid: Optional[HybridConfig] = None,
+) -> tuple[RunResult, HybridSimulation]:
+    """Stage 3: the approximate simulation.
+
+    The workload generator draws from the same seed and distributions
+    as the full run; flows not touching the full-fidelity cluster are
+    elided per the hybrid configuration.
+    """
+    topology = build_clos(config.clos)
+    sim = Simulator(seed=config.seed)
+    hybrid_sim = HybridSimulation(
+        sim, topology, trained, net_config=config.net, config=hybrid
+    )
+    generator = make_generator(
+        sim, hybrid_sim.network, config, flow_filter=hybrid_sim.flow_filter
+    )
+    generator.start()
+    sim.run(until=config.duration_s)
+
+    result = RunResult(
+        sim_seconds=config.duration_s,
+        wallclock_seconds=sim.wallclock_elapsed,
+        events_executed=sim.events_executed,
+        flows_started=generator.flows_started,
+        flows_completed=generator.flows_completed,
+        flows_elided=generator.flows_elided,
+        drops=hybrid_sim.network.total_drops + hybrid_sim.model_drops(),
+        rtt_samples=hybrid_sim.observed_rtt_samples(),
+        fcts=generator.completed_fcts(),
+        model_packets=hybrid_sim.model_packets_handled(),
+        model_drops=hybrid_sim.model_drops(),
+    )
+    return result, hybrid_sim

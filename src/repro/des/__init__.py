@@ -1,0 +1,50 @@
+"""Discrete event simulation (DES) kernel.
+
+This package is the substrate that plays the role OMNeT++ plays in the
+paper: a deterministic, single-threaded discrete event simulator.  Network
+behaviour is represented as a series of events (packet arrivals, timer
+expirations, application wake-ups) kept in a temporally ordered event
+queue, exactly as described in Section 2.1 of the paper.
+
+Public API
+----------
+``Simulator``
+    The event loop.  Owns simulated time, the event queue, named random
+    streams, and event accounting.
+``Event``
+    A scheduled callback; returned by :meth:`Simulator.schedule` and
+    usable as a cancellation handle.
+``Entity``
+    Base class for simulation components (switches, hosts, links, ...).
+``Monitor`` / ``TimeSeries`` / ``Counter``
+    Lightweight statistics collection.
+``SimulationError``, ``SchedulingError``
+    Kernel error types.
+"""
+
+from repro.des.errors import SchedulingError, SimulationError
+from repro.des.kernel import Event, EventQueue, Simulator
+from repro.des.entities import Entity, Timer
+from repro.des.process import Delay, Process, Signal
+from repro.des.monitors import Counter, Monitor, TimeSeries
+from repro.des.rng import RandomStreams
+from repro.des.simlog import SimTimeAdapter, get_sim_logger
+
+__all__ = [
+    "Counter",
+    "Delay",
+    "Entity",
+    "Event",
+    "EventQueue",
+    "Monitor",
+    "Process",
+    "RandomStreams",
+    "SchedulingError",
+    "Signal",
+    "SimTimeAdapter",
+    "SimulationError",
+    "Simulator",
+    "TimeSeries",
+    "get_sim_logger",
+    "Timer",
+]

@@ -1,0 +1,13 @@
+"""Error types raised by the DES kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled illegally.
+
+    Typical causes: scheduling in the simulated past, scheduling with a
+    non-finite timestamp, or re-scheduling a cancelled/executed event.
+    """

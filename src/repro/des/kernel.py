@@ -1,0 +1,263 @@
+"""The discrete event simulation kernel.
+
+The kernel is intentionally small: a binary-heap event queue keyed by
+``(time, priority, sequence)`` and a run loop.  The sequence number makes
+event ordering *total* and therefore deterministic: two events scheduled
+for the same instant with the same priority execute in the order they
+were scheduled, on every run, on every platform.
+
+Determinism matters for this reproduction in two ways.  First, the
+paper's training pipeline (Section 4) records packet traces from a full
+simulation and replays the same workload against the hybrid simulator;
+without a deterministic kernel the "same workload" would not be the same.
+Second, the event *count* is itself a measured quantity (our ablation A1
+counts the events elided by approximation), so the kernel keeps exact
+accounting of scheduled, executed, and cancelled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.des.errors import SchedulingError, SimulationError
+from repro.des.rng import RandomStreams
+
+#: Default priority for events; lower values execute first at equal times.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    The queue orders events by ``(time, priority, seq)``; the seq is a
+    kernel-assigned monotonic tie-breaker that makes ordering total
+    (and lets the heap compare plain tuples in C — events themselves
+    are never compared).
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    priority:
+        Tie-breaker at equal times; lower fires first.
+    seq:
+        Kernel-assigned monotonic sequence number; makes ordering total.
+    fn:
+        The callback, invoked as ``fn()``.
+    cancelled:
+        True if :meth:`Simulator.cancel` was called; the kernel skips
+        cancelled events lazily when they surface at the heap top.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], None]
+    cancelled: bool = False
+    executed: bool = False
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel will skip it.
+
+        Cancelling an already-executed event is a no-op rather than an
+        error: timers frequently race with the messages that disarm them.
+        """
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is neither executed nor cancelled."""
+        return not (self.cancelled or self.executed)
+
+
+class EventQueue:
+    """A temporally ordered event queue (binary heap).
+
+    Heap entries are plain ``(time, priority, seq, event)`` tuples:
+    the unique seq guarantees comparisons never reach the event object,
+    so heap maintenance runs entirely in C.  Exposed separately from
+    :class:`Simulator` because the parallel DES engine (``repro.pdes``)
+    runs one queue per partition.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, fn: Callable[[], None], priority: int = DEFAULT_PRIORITY) -> Event:
+        """Insert a callback at ``time``; returns the :class:`Event` handle."""
+        event = Event(time=time, priority=priority, seq=self._seq, fn=fn)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._seq += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None if empty.
+
+        Lazily discards cancelled events found at the top.
+        """
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest pending event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if not event.cancelled:
+                return event
+        return None
+
+
+class Simulator:
+    """The DES event loop.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's named random streams.  Every
+        stochastic component draws from ``sim.rng.stream(name)`` so that
+        adding a new source of randomness never perturbs existing ones.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.5]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = RandomStreams(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        # Event accounting (used by ablation A1 and the Figure 5 bench).
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.events_cancelled = 0
+        self._wallclock_start: Optional[float] = None
+        self.wallclock_elapsed: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[[], None], priority: int = DEFAULT_PRIORITY
+    ) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        Raises
+        ------
+        SchedulingError
+            If ``delay`` is negative or not finite.
+        """
+        if not math.isfinite(delay):
+            raise SchedulingError(f"event delay must be finite, got {delay!r}")
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay!r})")
+        self.events_scheduled += 1
+        return self._queue.push(self.now + delay, fn, priority)
+
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], priority: int = DEFAULT_PRIORITY
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulated time ``time``."""
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule into the past (time={time!r} < now={self.now!r})"
+            )
+        self.events_scheduled += 1
+        return self._queue.push(time, fn, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already executed)."""
+        if event.pending:
+            self.events_cancelled += 1
+        event.cancel()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            ``sim.now`` is advanced to ``until`` when the horizon is hit.
+        max_events:
+            Execute at most this many events (safety valve for tests).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._wallclock_start = _wallclock.perf_counter()
+        executed_this_run = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek said non-empty
+                if event.time < self.now:
+                    raise SimulationError(
+                        f"event queue yielded past event at {event.time} (now={self.now})"
+                    )
+                self.now = event.time
+                event.executed = True
+                self.events_executed += 1
+                executed_this_run += 1
+                event.fn()
+            if until is not None and not self._stopped and self._queue.peek_time() is None:
+                # Ran dry before the horizon: advance to it anyway, so that
+                # rate computations (bytes / elapsed) use the full window.
+                self.now = max(self.now, until)
+        finally:
+            self.wallclock_elapsed += _wallclock.perf_counter() - self._wallclock_start
+            self._wallclock_start = None
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the queue (including cancelled)."""
+        return len(self._queue)
+
+    def sim_seconds_per_second(self) -> float:
+        """Simulated seconds processed per wall-clock second so far.
+
+        This is exactly the y-axis of the paper's Figure 1.
+        """
+        if self.wallclock_elapsed <= 0:
+            return float("inf") if self.now > 0 else 0.0
+        return self.now / self.wallclock_elapsed

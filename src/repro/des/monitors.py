@@ -1,0 +1,135 @@
+"""Statistics collection for simulations.
+
+The paper notes (Section 2.1) that the output of a DES is configurable:
+users compute arbitrary statistics (flow completion time, throughput,
+latency, drop rate) or dump raw traces.  These classes are the
+building blocks for that: cheap append-only recorders that defer all
+math to the end of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class Monitor:
+    """Records scalar observations (no timestamps).
+
+    Examples
+    --------
+    >>> m = Monitor("rtt")
+    >>> m.record(0.5); m.record(1.5)
+    >>> m.mean()
+    1.0
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Append one observation."""
+        self._values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append many observations."""
+        self._values.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """All observations as an array (copy)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        """Arithmetic mean; NaN when empty."""
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100); NaN when empty."""
+        return float(np.percentile(self._values, q)) if self._values else float("nan")
+
+    def max(self) -> float:
+        """Largest observation; NaN when empty."""
+        return float(np.max(self._values)) if self._values else float("nan")
+
+    def min(self) -> float:
+        """Smallest observation; NaN when empty."""
+        return float(np.min(self._values)) if self._values else float("nan")
+
+
+class TimeSeries:
+    """Records (time, value) pairs.
+
+    Used for queue lengths and latency-over-time traces (the macro
+    model's training signal is derived from exactly such series).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation at ``time``."""
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Observation timestamps (copy)."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Observation values (copy)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def window(self, start: float, end: float) -> np.ndarray:
+        """Values observed in ``[start, end)``."""
+        t = self.times
+        mask = (t >= start) & (t < end)
+        return self.values[mask]
+
+    def resample_mean(self, interval: float) -> tuple[np.ndarray, np.ndarray]:
+        """Bucket observations into fixed intervals and average each.
+
+        Returns ``(bucket_start_times, bucket_means)``; empty buckets are
+        dropped.  This is how second-scale "macro" regime signals are
+        extracted from microsecond-scale packet observations (Section 4).
+        """
+        if not self._times:
+            return np.array([]), np.array([])
+        t, v = self.times, self.values
+        buckets = np.floor(t / interval).astype(np.int64)
+        uniq, inverse = np.unique(buckets, return_inverse=True)
+        sums = np.bincount(inverse, weights=v)
+        counts = np.bincount(inverse)
+        return uniq * interval, sums / counts
+
+
+class Counter:
+    """A named monotonically increasing counter (drops, bytes, events)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` (must be non-negative) to the counter."""
+        if by < 0:
+            raise ValueError(f"counter increment must be non-negative, got {by}")
+        self.count += by
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.count})"

@@ -1,0 +1,146 @@
+"""Generator-based simulation processes (the SimPy-style API).
+
+The raw kernel is callback-based; multi-step behaviours (an
+application that sends, waits, retries, ...) read much better as
+coroutines.  A :class:`Process` wraps a generator that *yields*
+waiting instructions:
+
+* ``yield Delay(seconds)`` — sleep in simulated time;
+* ``yield signal`` (a :class:`Signal`) — park until it fires;
+* ``return value`` — finish, waking any process waiting on this one
+  (a process is itself awaitable via its ``completion`` signal).
+
+Example
+-------
+>>> from repro.des import Simulator
+>>> from repro.des.process import Delay, Process
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield Delay(2.0)
+...     log.append(("done", sim.now))
+...     return 42
+>>> process = Process(sim, worker())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('done', 2.0)]
+>>> process.result
+42
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.des.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield target: sleep for ``seconds`` of simulated time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {self.seconds}")
+
+
+class Signal:
+    """A one-shot wakeup that processes can wait on.
+
+    ``fire(value)`` wakes every currently waiting process (the value is
+    delivered as the result of their ``yield``).  Firing twice is an
+    error; signals are one-shot by design — re-arm by creating a new
+    one.  Processes that yield an already-fired signal continue
+    immediately with the stored value.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "signal") -> None:
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters at the current time."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, lambda p=process: p._resume(self.value))
+
+    def _subscribe(self, process: "Process") -> None:
+        if self.fired:
+            self.sim.schedule(0.0, lambda p=process: p._resume(self.value))
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """Drives a generator through simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    generator:
+        The coroutine body.
+    name:
+        For error messages.
+
+    Attributes
+    ----------
+    completion:
+        A :class:`Signal` fired with the generator's return value when
+        it finishes — yield it to join on the process.
+    result:
+        The return value (None until completion).
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "process") -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.completion = Signal(sim, name=f"{name}.completion")
+        self.result: Any = None
+        self.failed: Optional[BaseException] = None
+        # Start on the next kernel tick at the current time.
+        sim.schedule(0.0, lambda: self._resume(None))
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.completion.fired and self.failed is None
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.completion.fire(stop.value)
+            return
+        except BaseException as error:  # surface, don't swallow
+            self.failed = error
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Delay):
+            self.sim.schedule(target.seconds, lambda: self._resume(None))
+        elif isinstance(target, Signal):
+            target._subscribe(self)
+        elif isinstance(target, Process):
+            target.completion._subscribe(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected Delay, "
+                "Signal, or Process"
+            )

@@ -1,0 +1,61 @@
+"""Simulation-time-aware logging.
+
+Debugging a DES with wall-clock log timestamps is useless — what
+matters is *simulated* time.  :func:`get_sim_logger` returns a standard
+:mod:`logging` adapter that prefixes every record with the simulator's
+current time (and the emitting component), so ordinary ``logger.debug``
+calls inside entities produce readable event narratives:
+
+    [t=0.001234567] tor-c0-0: forwarding seq=2920 to agg-c0-1
+
+Logging is entirely opt-in and costs nothing when the level is off
+(standard ``logging`` short-circuiting applies).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, MutableMapping, Optional
+
+from repro.des.kernel import Simulator
+
+
+class SimTimeAdapter(logging.LoggerAdapter):
+    """Prefixes records with ``[t=<sim time>]`` and a component name."""
+
+    def __init__(
+        self,
+        logger: logging.Logger,
+        sim: Simulator,
+        component: Optional[str] = None,
+    ) -> None:
+        super().__init__(logger, extra={})
+        self.sim = sim
+        self.component = component
+
+    def process(
+        self, msg: Any, kwargs: MutableMapping[str, Any]
+    ) -> tuple[str, MutableMapping[str, Any]]:
+        prefix = f"[t={self.sim.now:.9f}]"
+        if self.component:
+            prefix = f"{prefix} {self.component}:"
+        return f"{prefix} {msg}", kwargs
+
+    def for_component(self, component: str) -> "SimTimeAdapter":
+        """A child adapter tagged with a component name."""
+        return SimTimeAdapter(self.logger, self.sim, component=component)
+
+
+def get_sim_logger(
+    sim: Simulator, name: str = "repro", component: Optional[str] = None
+) -> SimTimeAdapter:
+    """The standard way to obtain a simulation logger.
+
+    Examples
+    --------
+    >>> from repro.des import Simulator
+    >>> sim = Simulator()
+    >>> log = get_sim_logger(sim, component="tor-0")
+    >>> log.debug("queue length %d", 3)  # emits when level enabled
+    """
+    return SimTimeAdapter(logging.getLogger(name), sim, component=component)

@@ -1,0 +1,77 @@
+"""Max-min fair rate allocation by progressive filling.
+
+Given flows with fixed paths over capacitated links, progressive
+filling raises every unfrozen flow's rate uniformly until some link
+saturates, freezes the flows crossing it at their fair share, removes
+the link, and repeats.  The result is the unique max-min fair
+allocation (Bertsekas & Gallager).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+LinkId = Hashable
+
+
+def max_min_fair_rates(
+    flow_links: Sequence[Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+) -> list[float]:
+    """Compute max-min fair rates.
+
+    Parameters
+    ----------
+    flow_links:
+        For each flow, the links it crosses (directed link ids).
+    capacities:
+        Capacity per link id (bits/s).
+
+    Returns
+    -------
+    Per-flow rates in the same order as ``flow_links``.  Flows with an
+    empty link list (e.g. same-host transfers) get ``inf``.
+    """
+    n = len(flow_links)
+    rates = [0.0] * n
+    unfrozen: set[int] = set()
+    for i, links in enumerate(flow_links):
+        if links:
+            unfrozen.add(i)
+        else:
+            rates[i] = float("inf")
+    remaining = {link: float(cap) for link, cap in capacities.items()}
+    link_flows: dict[LinkId, set[int]] = {}
+    for i in unfrozen:
+        for link in flow_links[i]:
+            if link not in remaining:
+                raise KeyError(f"flow {i} crosses unknown link {link!r}")
+            link_flows.setdefault(link, set()).add(i)
+
+    while unfrozen:
+        # The bottleneck is the link with the smallest fair share.
+        bottleneck = None
+        bottleneck_share = float("inf")
+        for link, flows in link_flows.items():
+            active = len(flows)
+            if active == 0:
+                continue
+            share = remaining[link] / active
+            if share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck = link
+        if bottleneck is None:
+            # No capacity constraint binds the remaining flows.
+            for i in unfrozen:
+                rates[i] = float("inf")
+            break
+        frozen_now = list(link_flows[bottleneck])
+        for i in frozen_now:
+            rates[i] = bottleneck_share
+            unfrozen.discard(i)
+            for link in flow_links[i]:
+                remaining[link] -= bottleneck_share
+                link_flows[link].discard(i)
+        # Guard against tiny negative residue from float subtraction.
+        remaining[bottleneck] = max(remaining[bottleneck], 0.0)
+    return rates

@@ -1,0 +1,31 @@
+"""Packet-level network substrate (the OMNeT++/INET substitute).
+
+Builds DES entities out of a :class:`~repro.topology.Topology`:
+
+* :class:`Packet` — TCP/IP segments with the header fields the
+  simulator and the ML feature extractor need.
+* :class:`Port` — output link with drop-tail queue, serialization at
+  line rate, and propagation delay.
+* :class:`Switch` — output-queued ECMP-forwarding switch with optional
+  ECN marking.
+* :class:`Host` — server endpoint that owns TCP connections.
+* :class:`Network` — assembles all of the above from a topology and
+  routing table, with packet-tap hooks used for trace capture.
+"""
+
+from repro.net.packet import Packet, TcpFlags
+from repro.net.port import Port, PortStats
+from repro.net.switch import Switch
+from repro.net.host import Host
+from repro.net.network import Network, NetworkConfig
+
+__all__ = [
+    "Host",
+    "Network",
+    "NetworkConfig",
+    "Packet",
+    "Port",
+    "PortStats",
+    "Switch",
+    "TcpFlags",
+]

@@ -1,0 +1,102 @@
+"""The packet model.
+
+Packets carry exactly the header state the rest of the system needs:
+endpoints and ports (flow identity, ECMP hashing), TCP sequence/ack
+numbers and flags (the New Reno state machines), ECN bits (optional
+marking), and creation/boundary timestamps (RTT and region-latency
+measurement).  Section 4.2 of the paper notes all model features "can
+be calculated directly from the packet header information, simulation
+time, and knowledge of routing strategy" — this header is that
+information.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntFlag
+
+from repro.topology.routing import ecmp_hash, name_key
+
+#: Combined IP + TCP header size in bytes (20 + 20, no options).
+HEADER_BYTES = 40
+#: Maximum segment size (payload bytes per packet) for 1500-byte MTU.
+DEFAULT_MSS = 1460
+
+_packet_ids = itertools.count()
+
+
+class TcpFlags(IntFlag):
+    """TCP flag bits used by the simulator."""
+
+    NONE = 0
+    SYN = 1
+    ACK = 2
+    FIN = 4
+
+
+@dataclass(slots=True)
+class Packet:
+    """A simulated TCP/IP packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node names (node names double as addresses).
+    src_port, dst_port:
+        Transport ports; with the addresses they form the flow 5-tuple.
+    seq:
+        First payload byte's sequence number (sender byte stream).
+    ack:
+        Cumulative acknowledgment number (next byte expected).
+    flags:
+        TCP flags.
+    payload_bytes:
+        Application payload length (0 for pure ACKs).
+    created_at:
+        Simulated time the packet was handed to the sender's NIC queue.
+    ecn_capable / ecn_marked:
+        ECN transport capability and congestion-experienced mark.
+    retransmission:
+        True if this segment is a retransmit (Karn's algorithm skips
+        RTT samples from these, and it is a model feature candidate).
+    """
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags.NONE
+    payload_bytes: int = 0
+    created_at: float = 0.0
+    ecn_capable: bool = False
+    ecn_marked: bool = False
+    retransmission: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total wire size (headers + payload)."""
+        return HEADER_BYTES + self.payload_bytes
+
+    @property
+    def flow_tuple(self) -> tuple[str, str, int, int]:
+        """The flow identity (src, dst, sport, dport)."""
+        return (self.src, self.dst, self.src_port, self.dst_port)
+
+    def flow_hash(self) -> int:
+        """Deterministic ECMP hash of the flow 5-tuple.
+
+        Uses a *symmetric-free* encoding: the hash of the reverse
+        direction differs, matching real ECMP (each direction may take
+        a different path).
+        """
+        return ecmp_hash(
+            name_key(self.src), name_key(self.dst), self.src_port, self.dst_port
+        )
+
+    def is_ack_only(self) -> bool:
+        """True for packets that carry no payload (pure control)."""
+        return self.payload_bytes == 0

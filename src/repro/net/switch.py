@@ -1,0 +1,75 @@
+"""Output-queued ECMP switch.
+
+A switch receives a packet, looks up the ECMP next hop for the packet's
+flow, and enqueues it on the corresponding output port.  Forwarding is
+destination-based (no per-input state), so the switch does not care
+whether a packet physically arrived from a neighbor or was injected by
+an approximated-cluster model.
+
+Per the paper's elision list (Section 5), these queuing / routing /
+packet processing procedures are exactly what the approximation removes
+for replaced clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.des.entities import Entity
+from repro.des.kernel import Simulator
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.topology.routing import EcmpRouting
+
+
+class Switch(Entity):
+    """An output-queued switch with ECMP forwarding.
+
+    Ports are attached after construction via :meth:`attach_port` (the
+    network assembler wires both directions of every link).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        routing: EcmpRouting,
+        on_forward: Optional[Callable[["Switch", Packet, str], None]] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.routing = routing
+        self.ports: dict[str, Port] = {}
+        self.packets_forwarded = 0
+        self.packets_received = 0
+        #: Optional hook called as ``on_forward(switch, packet,
+        #: next_hop)`` before enqueueing — trace capture uses it.
+        self.on_forward = on_forward
+
+    def attach_port(self, neighbor: str, port: Port) -> None:
+        """Register the output port toward ``neighbor``."""
+        if neighbor in self.ports:
+            raise ValueError(f"{self.name}: duplicate port toward {neighbor!r}")
+        self.ports[neighbor] = port
+
+    def receive(self, packet: Packet, from_node: str) -> None:
+        """Forward a packet toward its destination."""
+        self.packets_received += 1
+        next_hop = self.routing.next_hop(self.name, packet.dst, packet.flow_hash())
+        try:
+            port = self.ports[next_hop]
+        except KeyError:
+            raise RuntimeError(
+                f"{self.name}: routing chose {next_hop!r} but no port is attached"
+            ) from None
+        if self.on_forward is not None:
+            self.on_forward(self, packet, next_hop)
+        self.packets_forwarded += 1
+        port.enqueue(packet)
+
+    def total_dropped(self) -> int:
+        """Packets dropped across all output queues of this switch."""
+        return sum(port.stats.dropped for port in self.ports.values())
+
+    def total_queued_bytes(self) -> int:
+        """Bytes currently queued across all output ports."""
+        return sum(port.queued_bytes for port in self.ports.values())

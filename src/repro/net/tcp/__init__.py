@@ -1,0 +1,25 @@
+"""TCP New Reno implementation.
+
+The paper's evaluation runs "TCP New Reno and ECMP implemented on
+OMNeT++/INET" (Section 6).  This package is the INET-equivalent TCP:
+
+* :class:`TcpSender` — slow start, congestion avoidance, 3-dupACK fast
+  retransmit, New Reno partial-ACK fast recovery (RFC 6582),
+  Jacobson/Karn RTO estimation with exponential backoff.
+* :class:`TcpReceiver` — cumulative ACKs with out-of-order reassembly,
+  optional delayed ACKs, ECN echo.
+* :class:`TcpConfig` — all protocol knobs in one place.
+
+Connections are simulation-level objects: a flow is set up by creating
+the sender at the source host and the receiver at the destination host
+(no three-way handshake is simulated — connection establishment is not
+part of any measured quantity in the paper, and INET-based DC studies
+routinely pre-establish connections for the same reason).
+"""
+
+from repro.net.tcp.config import TcpConfig
+from repro.net.tcp.rtt import RttEstimator
+from repro.net.tcp.receiver import TcpReceiver
+from repro.net.tcp.sender import SenderState, TcpSender
+
+__all__ = ["RttEstimator", "SenderState", "TcpConfig", "TcpReceiver", "TcpSender"]

@@ -1,0 +1,89 @@
+"""TCP protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import DEFAULT_MSS
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Knobs for the New Reno implementation.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment size (payload bytes).
+    initial_cwnd_segments:
+        Initial congestion window (RFC 6928's 10 segments by default).
+    initial_ssthresh_bytes:
+        Initial slow-start threshold (effectively unbounded).
+    min_rto_s:
+        Lower bound on the retransmission timeout.  Data center
+        operators tune this far below the WAN-era 200 ms-1 s; 10 ms
+        keeps timeout dynamics visible in short simulated windows
+        while preserving the pathology the paper describes (flows
+        stalling on RTO under extreme congestion).
+    max_rto_s:
+        Upper bound after exponential backoff.
+    initial_rto_s:
+        RTO before any RTT sample exists.
+    dupack_threshold:
+        Duplicate ACKs that trigger fast retransmit.
+    delayed_ack:
+        If True, receiver ACKs every second segment or after
+        ``delayed_ack_timeout_s``.
+    delayed_ack_timeout_s:
+        Delayed-ACK flush timer.
+    ecn:
+        If True, senders negotiate ECN and halve cwnd on echoed marks
+        instead of relying purely on loss.
+    dctcp:
+        If True, run DCTCP congestion control (Alizadeh et al. 2010 —
+        the paper's workload reference): the sender tracks the fraction
+        of ECN-marked bytes per window in an EMA ``alpha`` and scales
+        cwnd by ``1 - alpha/2`` once per window, reacting to the
+        *extent* of congestion rather than its presence.  Implies ECN
+        transport; requires a marking threshold on the queues.
+    dctcp_g:
+        EMA gain for the DCTCP alpha estimator (the paper's g = 1/16).
+    receive_window_bytes:
+        Advertised receive window (flow-control cap on in-flight data).
+    """
+
+    mss: int = DEFAULT_MSS
+    initial_cwnd_segments: int = 10
+    initial_ssthresh_bytes: int = 1 << 30
+    min_rto_s: float = 0.01
+    max_rto_s: float = 5.0
+    initial_rto_s: float = 0.03
+    dupack_threshold: int = 3
+    delayed_ack: bool = False
+    delayed_ack_timeout_s: float = 0.001
+    ecn: bool = False
+    dctcp: bool = False
+    dctcp_g: float = 1.0 / 16.0
+    receive_window_bytes: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError(f"mss must be positive, got {self.mss}")
+        if self.initial_cwnd_segments < 1:
+            raise ValueError("initial_cwnd_segments must be >= 1")
+        if self.min_rto_s <= 0 or self.max_rto_s < self.min_rto_s:
+            raise ValueError("require 0 < min_rto_s <= max_rto_s")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack_threshold must be >= 1")
+        if not 0.0 < self.dctcp_g <= 1.0:
+            raise ValueError(f"dctcp_g must be in (0, 1], got {self.dctcp_g}")
+
+    @property
+    def ecn_enabled(self) -> bool:
+        """True if packets should be sent ECN-capable."""
+        return self.ecn or self.dctcp
+
+    @property
+    def initial_cwnd_bytes(self) -> int:
+        """Initial congestion window in bytes."""
+        return self.initial_cwnd_segments * self.mss

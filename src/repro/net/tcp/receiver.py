@@ -1,0 +1,158 @@
+"""TCP receiver: cumulative ACK generation with reassembly.
+
+The receiver tracks ``rcv_nxt``, buffers out-of-order segments as
+merged ``(start, end)`` intervals, and generates cumulative ACKs.  Out
+of order arrivals always trigger an immediate duplicate ACK (that is
+what drives the sender's fast retransmit); in-order arrivals ACK
+immediately or on the delayed-ACK policy.  ECN marks seen on data are
+echoed on the next ACK (a simplified ECE that suffices for the
+one-reduction-per-window sender rule).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Optional, Protocol
+
+from repro.des.entities import Timer
+from repro.des.kernel import Simulator
+from repro.net.packet import Packet, TcpFlags
+from repro.net.tcp.config import TcpConfig
+
+
+class ReceiverHost(Protocol):
+    """What a receiver needs from its host."""
+
+    name: str
+    sim: Simulator
+
+    def transmit(self, packet: Packet) -> None:
+        """Hand a packet to the NIC."""
+        ...  # pragma: no cover - protocol definition
+
+
+class TcpReceiver:
+    """The receiving side of one unidirectional transfer.
+
+    Parameters
+    ----------
+    host:
+        The endpoint that owns this connection.
+    peer:
+        The sender's node name (destination for ACKs).
+    src_port, dst_port:
+        *This side's* ports: ACKs go out with ``src_port`` as their
+        source and ``dst_port`` as destination (mirroring the data
+        packets' ports).
+    config:
+        Protocol knobs (delayed-ACK policy lives here).
+    on_deliver:
+        Optional callback ``(new_in_order_bytes) -> None`` whenever the
+        reassembly point advances — applications count goodput with it.
+    """
+
+    def __init__(
+        self,
+        host: ReceiverHost,
+        peer: str,
+        src_port: int,
+        dst_port: int,
+        config: TcpConfig,
+        on_deliver: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.host = host
+        self.peer = peer
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.config = config
+        self.on_deliver = on_deliver
+
+        self.rcv_nxt = 0
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+        self.duplicate_segments = 0
+        self._ooo: list[tuple[int, int]] = []  # sorted, disjoint
+        self._ecn_echo = False
+        self._unacked_segments = 0
+        self._delack_timer = Timer(host.sim, self._flush_delayed_ack)
+
+    # ------------------------------------------------------------------
+    def on_data(self, packet: Packet) -> None:
+        """Process an arriving data segment."""
+        if packet.ecn_marked:
+            self._ecn_echo = True
+        start = packet.seq
+        end = packet.seq + packet.payload_bytes
+        if end <= self.rcv_nxt:
+            # Entirely old data (spurious retransmission).
+            self.duplicate_segments += 1
+            self._send_ack()
+            return
+        if start > self.rcv_nxt:
+            # A hole precedes this segment: buffer + immediate dup ACK.
+            self._insert_ooo(start, end)
+            self._send_ack()
+            return
+        # In-order (possibly overlapping) data: advance and merge.
+        advanced_from = self.rcv_nxt
+        self.rcv_nxt = max(self.rcv_nxt, end)
+        self._drain_ooo()
+        delivered = self.rcv_nxt - advanced_from
+        self.bytes_delivered += delivered
+        if self.on_deliver is not None:
+            self.on_deliver(delivered)
+        if self.config.delayed_ack and not self._ooo:
+            self._unacked_segments += 1
+            if self._unacked_segments >= 2:
+                self._flush_delayed_ack()
+            elif not self._delack_timer.armed:
+                self._delack_timer.arm(self.config.delayed_ack_timeout_s)
+        else:
+            self._send_ack()
+
+    # ------------------------------------------------------------------
+    def _insert_ooo(self, start: int, end: int) -> None:
+        """Insert an interval, merging overlaps, keeping the list sorted."""
+        starts = [seg[0] for seg in self._ooo]
+        idx = bisect.bisect_left(starts, start)
+        self._ooo.insert(idx, (start, end))
+        merged: list[tuple[int, int]] = []
+        for seg_start, seg_end in self._ooo:
+            if merged and seg_start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], seg_end))
+            else:
+                merged.append((seg_start, seg_end))
+        self._ooo = merged
+
+    def _drain_ooo(self) -> None:
+        """Consume buffered intervals now contiguous with ``rcv_nxt``."""
+        while self._ooo and self._ooo[0][0] <= self.rcv_nxt:
+            _, seg_end = self._ooo.pop(0)
+            self.rcv_nxt = max(self.rcv_nxt, seg_end)
+
+    def _flush_delayed_ack(self) -> None:
+        self._delack_timer.cancel()
+        self._unacked_segments = 0
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack = Packet(
+            src=self.host.name,
+            dst=self.peer,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            ack=self.rcv_nxt,
+            flags=TcpFlags.ACK,
+            payload_bytes=0,
+            created_at=self.host.sim.now,
+            ecn_capable=self.config.ecn,
+            ecn_marked=self._ecn_echo,
+        )
+        self._ecn_echo = False
+        self.acks_sent += 1
+        self.host.transmit(ack)
+
+    @property
+    def ooo_intervals(self) -> list[tuple[int, int]]:
+        """Buffered out-of-order intervals (copy, for tests)."""
+        return list(self._ooo)

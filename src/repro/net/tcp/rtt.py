@@ -1,0 +1,53 @@
+"""Jacobson/Karels RTT estimation and RTO computation (RFC 6298)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT variance estimator.
+
+    Standard gains: ``srtt += (sample - srtt)/8``;
+    ``rttvar += (|sample - srtt| - rttvar)/4``; ``rto = srtt + 4*rttvar``
+    clamped to ``[min_rto, max_rto]``.  Exponential backoff doubles the
+    effective RTO per consecutive timeout (Karn's algorithm: samples
+    from retransmitted segments are never fed in — enforced by the
+    caller, which only times first transmissions).
+    """
+
+    def __init__(self, min_rto_s: float, max_rto_s: float, initial_rto_s: float) -> None:
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.initial_rto_s = initial_rto_s
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._backoff = 1.0
+
+    def observe(self, sample_s: float) -> None:
+        """Feed one RTT sample (first-transmission segments only)."""
+        if sample_s < 0:
+            raise ValueError(f"RTT sample must be non-negative, got {sample_s}")
+        if self.srtt is None:
+            self.srtt = sample_s
+            self.rttvar = sample_s / 2.0
+        else:
+            assert self.rttvar is not None
+            err = sample_s - self.srtt
+            self.srtt += err / 8.0
+            self.rttvar += (abs(err) - self.rttvar) / 4.0
+        self._backoff = 1.0  # a valid sample ends backoff
+
+    def backoff(self) -> None:
+        """Double the effective RTO after a retransmission timeout."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
+
+    @property
+    def rto_s(self) -> float:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            base = self.initial_rto_s
+        else:
+            assert self.rttvar is not None
+            base = self.srtt + 4.0 * self.rttvar
+        return min(max(base * self._backoff, self.min_rto_s), self.max_rto_s)

@@ -1,0 +1,44 @@
+"""Activation functions and their derivatives.
+
+All functions are elementwise over numpy arrays.  Derivatives are
+expressed in terms of the *outputs* where that is cheaper (sigmoid,
+tanh), matching how the LSTM backward pass caches activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid.
+
+    Computed via the complementary forms on positive/negative halves to
+    avoid overflow in ``exp`` for large |x|.
+    """
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid given its output ``y``: ``y * (1 - y)``."""
+    return y * (1.0 - y)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh given its output ``y``: ``1 - y**2``."""
+    return 1.0 - y * y
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU given its *input* ``x``."""
+    return (x > 0).astype(np.float64)

@@ -1,0 +1,137 @@
+"""Dataset utilities: standardization, windowing, batching.
+
+The micro model is trained on windows of consecutive packets ("batches
+of size 64", Section 4.2).  These helpers turn flat per-packet feature
+and target arrays into ``(T, B, F)`` training windows, standardize
+features to zero mean / unit variance, and iterate shuffled minibatches
+reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class Standardizer:
+    """Per-feature affine normalization fitted on training data.
+
+    Features with (near-)zero variance are left unscaled rather than
+    divided by ~0; one-hot and constant features survive unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "Standardizer":
+        """Fit on ``x`` shaped ``(N, F)``; returns self for chaining."""
+        self.mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize ``x`` (any leading shape, trailing F)."""
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer used before fit()")
+        return (x - self.mean) / self.std
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer used before fit()")
+        return x * self.std + self.mean
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Arrays needed to reconstruct the fitted transform."""
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer used before fit()")
+        return {"mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "Standardizer":
+        """Rebuild from :meth:`state_dict` output."""
+        out = cls()
+        out.mean = np.asarray(state["mean"], dtype=np.float64)
+        out.std = np.asarray(state["std"], dtype=np.float64)
+        return out
+
+
+def make_sequences(
+    features: np.ndarray, targets: np.ndarray, window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cut flat per-packet arrays into non-overlapping training windows.
+
+    Parameters
+    ----------
+    features:
+        ``(N, F)`` per-packet features in arrival order.
+    targets:
+        ``(N, K)`` per-packet targets aligned with features.
+    window:
+        Window length T.
+
+    Returns
+    -------
+    ``(X, Y)`` where ``X`` is ``(num_windows, T, F)`` and ``Y`` is
+    ``(num_windows, T, K)``.  The trailing remainder shorter than one
+    window is discarded.
+    """
+    if features.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"features and targets disagree on N: {features.shape[0]} != {targets.shape[0]}"
+        )
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    n = (features.shape[0] // window) * window
+    if n == 0:
+        return (
+            np.empty((0, window, features.shape[1])),
+            np.empty((0, window, targets.shape[1])),
+        )
+    x = features[:n].reshape(-1, window, features.shape[1])
+    y = targets[:n].reshape(-1, window, targets.shape[1])
+    return x, y
+
+
+class BatchIterator:
+    """Reproducibly shuffled minibatch iterator over window arrays.
+
+    Yields ``(xb, yb)`` with shapes ``(T, B, F)`` / ``(T, B, K)`` —
+    note the transpose to time-major, which is what the LSTM consumes.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+        drop_last: bool = False,
+    ) -> None:
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y disagree on the number of windows")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.rng = rng
+        self.drop_last = drop_last
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = self.rng.permutation(self.x.shape[0])
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            xb = self.x[idx].transpose(1, 0, 2)
+            yb = self.y[idx].transpose(1, 0, 2)
+            yield xb, yb
+
+    def __len__(self) -> int:
+        full, rem = divmod(self.x.shape[0], self.batch_size)
+        return full if (self.drop_last or rem == 0) else full + 1

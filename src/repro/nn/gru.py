@@ -1,0 +1,211 @@
+"""Gated recurrent unit (GRU) — the Section 7 "new LSTM variant".
+
+The paper's future-work section proposes "testing new LSTM variants"
+for the micro model.  The GRU (Cho et al., 2014) is the canonical one:
+two gates instead of three, no separate cell state, ~25% fewer
+parameters per hidden unit — cheaper per packet at simulation time,
+the trade-off the capacity ablation (A5) quantifies.
+
+Gate layout of the fused projections: ``[z | r | n]`` (update, reset,
+candidate).  The candidate's recurrent term is reset-gated:
+``n = tanh(x W_n + r * (h U_n) + b_n)``; ``h' = (1-z) n + z h``.
+
+API mirrors :class:`~repro.nn.lstm.LSTM`: batched ``forward`` with
+cached activations + full BPTT ``backward``, and a stateful
+``step``/``step_inference`` pair for per-packet simulation use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+@dataclass
+class GRUState:
+    """Hidden state of a multi-layer GRU: one ``(B, H)`` array per layer."""
+
+    h: list[np.ndarray]
+
+    def copy(self) -> "GRUState":
+        """Deep copy."""
+        return GRUState(h=[a.copy() for a in self.h])
+
+
+@dataclass
+class _GruStepCache:
+    """Per-timestep activations cached for BPTT."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    z: np.ndarray
+    r: np.ndarray
+    n: np.ndarray
+    hu_n: np.ndarray  # h_prev @ U_n (pre reset gating)
+
+
+class GRUCell(Module):
+    """A single GRU layer operating one timestep at a time."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        name: str = "gru_cell",
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_input = Parameter(
+            xavier_uniform(rng, input_size, 3 * h, (input_size, 3 * h)),
+            name=f"{name}.w_input",
+        )
+        recurrent = np.concatenate([orthogonal(rng, (h, h)) for _ in range(3)], axis=1)
+        self.w_recurrent = Parameter(recurrent, name=f"{name}.w_recurrent")
+        self.bias = Parameter(np.zeros(3 * h), name=f"{name}.bias")
+
+    def step(
+        self, x: np.ndarray, h_prev: np.ndarray
+    ) -> tuple[np.ndarray, _GruStepCache]:
+        """One timestep with activation caching (training path)."""
+        h_size = self.hidden_size
+        xw = x @ self.w_input.value + self.bias.value
+        hu = h_prev @ self.w_recurrent.value
+        z = sigmoid(xw[:, :h_size] + hu[:, :h_size])
+        r = sigmoid(xw[:, h_size : 2 * h_size] + hu[:, h_size : 2 * h_size])
+        hu_n = hu[:, 2 * h_size :]
+        n = np.tanh(xw[:, 2 * h_size :] + r * hu_n)
+        h = (1.0 - z) * n + z * h_prev
+        return h, _GruStepCache(x=x, h_prev=h_prev, z=z, r=r, n=n, hu_n=hu_n)
+
+    def step_inference(self, x: np.ndarray, h_prev: np.ndarray) -> np.ndarray:
+        """One timestep without caching (hot path)."""
+        h_size = self.hidden_size
+        pre = x @ self.w_input.value + self.bias.value
+        hu = h_prev @ self.w_recurrent.value
+        gates = pre[:, : 2 * h_size] + hu[:, : 2 * h_size]
+        np.clip(gates, -60.0, 60.0, out=gates)
+        gates = 1.0 / (1.0 + np.exp(-gates))
+        z = gates[:, :h_size]
+        r = gates[:, h_size:]
+        n = np.tanh(pre[:, 2 * h_size :] + r * hu[:, 2 * h_size :])
+        return (1.0 - z) * n + z * h_prev
+
+    def backward_step(
+        self, grad_h: np.ndarray, cache: _GruStepCache
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Backward through one timestep.
+
+        Returns ``(grad_x, grad_h_prev)``; parameter gradients are
+        accumulated in place.
+        """
+        h_size = self.hidden_size
+        z, r, n = cache.z, cache.r, cache.n
+        h_prev = cache.h_prev
+
+        grad_z = grad_h * (h_prev - n)
+        grad_n = grad_h * (1.0 - z)
+        grad_h_prev = grad_h * z
+
+        grad_n_pre = grad_n * (1.0 - n**2)
+        grad_r = grad_n_pre * cache.hu_n
+        grad_hu_n = grad_n_pre * r
+        grad_z_pre = grad_z * z * (1.0 - z)
+        grad_r_pre = grad_r * r * (1.0 - r)
+
+        grad_pre = np.concatenate([grad_z_pre, grad_r_pre, grad_n_pre], axis=1)
+        grad_hu = np.concatenate([grad_z_pre, grad_r_pre, grad_hu_n], axis=1)
+
+        self.w_input.grad += cache.x.T @ grad_pre
+        self.bias.grad += grad_pre.sum(axis=0)
+        self.w_recurrent.grad += h_prev.T @ grad_hu
+
+        grad_x = grad_pre @ self.w_input.value.T
+        grad_h_prev = grad_h_prev + grad_hu @ self.w_recurrent.value.T
+        return grad_x, grad_h_prev
+
+
+class GRU(Module):
+    """Stack of :class:`GRUCell` layers with the LSTM-compatible API."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        name: str = "gru",
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.layers = [
+            GRUCell(
+                input_size if k == 0 else hidden_size,
+                hidden_size,
+                rng,
+                name=f"{name}.layer{k}",
+            )
+            for k in range(num_layers)
+        ]
+        self._caches: Optional[list[list[_GruStepCache]]] = None
+
+    def initial_state(self, batch_size: int) -> GRUState:
+        """Zero state for a batch of the given size."""
+        shape = (batch_size, self.hidden_size)
+        return GRUState(h=[np.zeros(shape) for _ in range(self.num_layers)])
+
+    def forward(
+        self, x: np.ndarray, state: Optional[GRUState] = None
+    ) -> tuple[np.ndarray, GRUState]:
+        """Run a full sequence ``(T, B, F)``; caches for BPTT."""
+        steps, batch, _ = x.shape
+        if state is None:
+            state = self.initial_state(batch)
+        h = [a.copy() for a in state.h]
+        self._caches = [[] for _ in range(self.num_layers)]
+        outputs = np.empty((steps, batch, self.hidden_size))
+        for t in range(steps):
+            layer_in = x[t]
+            for k, cell in enumerate(self.layers):
+                h[k], cache = cell.step(layer_in, h[k])
+                self._caches[k].append(cache)
+                layer_in = h[k]
+            outputs[t] = h[-1]
+        return outputs, GRUState(h=h)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        """Full BPTT over the cached window; returns dL/dx."""
+        if self._caches is None:
+            raise RuntimeError("backward() called before forward()")
+        steps = len(self._caches[0])
+        batch = grad_outputs.shape[1]
+        grad_h = [np.zeros((batch, self.hidden_size)) for _ in range(self.num_layers)]
+        grad_x = np.empty((steps, batch, self.input_size))
+        for t in range(steps - 1, -1, -1):
+            down = grad_outputs[t]
+            for k in range(self.num_layers - 1, -1, -1):
+                gx, gh = self.layers[k].backward_step(grad_h[k] + down, self._caches[k][t])
+                grad_h[k] = gh
+                down = gx
+            grad_x[t] = down
+        self._caches = None
+        return grad_x
+
+    def step(self, x: np.ndarray, state: GRUState) -> tuple[np.ndarray, GRUState]:
+        """Stateful single-step inference."""
+        h = list(state.h)
+        layer_in = x
+        for k, cell in enumerate(self.layers):
+            h[k] = cell.step_inference(layer_in, h[k])
+            layer_in = h[k]
+        return h[-1], GRUState(h=h)

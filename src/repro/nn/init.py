@@ -1,0 +1,33 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Samples from ``U(-a, a)`` with ``a = sqrt(6 / (fan_in + fan_out))``;
+    the standard choice for tanh/sigmoid gated layers like LSTMs.
+    """
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Orthogonal initialization for recurrent weight matrices.
+
+    Orthogonal recurrent weights keep gradient norms close to constant
+    through time, which noticeably stabilizes BPTT on long packet
+    sequences.
+    """
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))  # make deterministic up to rng
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]

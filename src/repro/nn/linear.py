@@ -1,0 +1,71 @@
+"""Fully connected layer.
+
+The paper's micro model feeds the LSTM hidden state to "one fully
+connected layer to predict the latency and another fully connected
+layer to predict packet drop" (Section 4.2); this is that layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    rng:
+        Generator for weight initialization.
+    name:
+        Prefix for parameter names.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        name: str = "linear",
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform(rng, in_features, out_features, (in_features, out_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._last_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to ``x`` of shape ``(..., in_features)``.
+
+        Caches the input for :meth:`backward`.
+        """
+        self._last_input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. input.
+
+        ``grad_out`` has the forward output's shape.  Leading dimensions
+        (batch, time) are flattened for the weight gradient.
+        """
+        if self._last_input is None:
+            raise RuntimeError("backward() called before forward()")
+        x = self._last_input
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad_out.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ g2
+        self.bias.grad += g2.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,119 @@
+"""Loss functions, including the paper's joint drop/latency loss.
+
+Section 4.2: "the loss function for training has two components: binary
+cross entropy loss for the drop decision per packet and mean squared
+error for the latency values.  A hyper-parameter alpha balances the
+relative contribution ... L = L_drop + alpha * L_latency.  However, if
+there is a packet drop then no latency error can be back-propagated."
+:class:`JointDropLatencyLoss` implements exactly that, including the
+drop masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+
+
+class MSELoss:
+    """Mean squared error, optionally masked.
+
+    ``forward`` returns the scalar loss; ``backward`` returns
+    dL/d(pred) with the same shape as the prediction.
+    """
+
+    def forward(
+        self, pred: np.ndarray, target: np.ndarray, mask: np.ndarray | None = None
+    ) -> float:
+        """Mean of squared errors over unmasked elements."""
+        diff = pred - target
+        if mask is not None:
+            diff = diff * mask
+            n = max(float(mask.sum()), 1.0)
+        else:
+            n = float(diff.size)
+        self._diff, self._n = diff, n
+        return float((diff**2).sum() / n)
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the last ``forward``: ``2 * diff / n``."""
+        return 2.0 * self._diff / self._n
+
+
+class BCEWithLogitsLoss:
+    """Binary cross entropy on raw logits (numerically stable).
+
+    Uses ``max(z,0) - z*y + log(1+exp(-|z|))``, the standard stable
+    form, so large-magnitude logits never overflow.
+    """
+
+    def forward(self, logits: np.ndarray, target: np.ndarray) -> float:
+        """Mean BCE over all elements."""
+        z, y = logits, target
+        loss = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        self._logits, self._target = z, y
+        self._n = float(z.size)
+        return float(loss.sum() / self._n)
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the last ``forward``: ``(sigmoid(z) - y) / n``."""
+        return (sigmoid(self._logits) - self._target) / self._n
+
+
+@dataclass
+class JointLossParts:
+    """Breakdown of the joint loss (useful for training logs)."""
+
+    total: float
+    drop: float
+    latency: float
+
+
+class JointDropLatencyLoss:
+    """The paper's micro-model loss ``L = L_drop + alpha * L_latency``.
+
+    Parameters
+    ----------
+    alpha:
+        Latency-term weight; the paper sets ``0 < alpha <= 1`` because
+        "the contribution of drops in determining future behavior is
+        more significant than latency".
+
+    Notes
+    -----
+    Latency error is masked wherever the *ground truth* says the packet
+    was dropped — a dropped packet has no observable latency, so no
+    latency gradient may flow for it (Section 4.2).
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._bce = BCEWithLogitsLoss()
+        self._mse = MSELoss()
+
+    def forward(
+        self,
+        drop_logits: np.ndarray,
+        latency_pred: np.ndarray,
+        drop_target: np.ndarray,
+        latency_target: np.ndarray,
+    ) -> JointLossParts:
+        """Compute the joint loss.
+
+        All arrays share a leading shape; ``drop_target`` is 0/1 and the
+        latency arrays are in (possibly normalized) latency units.
+        """
+        survive_mask = 1.0 - drop_target
+        drop_loss = self._bce.forward(drop_logits, drop_target)
+        latency_loss = self._mse.forward(latency_pred, latency_target, mask=survive_mask)
+        total = drop_loss + self.alpha * latency_loss
+        return JointLossParts(total=total, drop=drop_loss, latency=latency_loss)
+
+    def backward(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(dL/d drop_logits, dL/d latency_pred)``."""
+        return self._bce.backward(), self.alpha * self._mse.backward()

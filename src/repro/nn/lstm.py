@@ -1,0 +1,285 @@
+"""Multi-layer LSTM with explicit backpropagation through time.
+
+This is the core of the paper's "micro model" (Section 4.2): a
+two-layer LSTM with 128 hidden nodes whose hidden state feeds two fully
+connected prediction heads.  The implementation supports:
+
+* batched sequence training — ``forward`` over ``(T, B, F)`` inputs with
+  cached activations, then ``backward`` over the same window (full BPTT);
+* stateful single-step inference — ``step`` carries ``(h, c)`` across
+  calls, which is how the hybrid simulator feeds packets to the model
+  one at a time in simulated-time order.
+
+Gate layout follows the usual convention: the fused projection produces
+``[i | f | g | o]`` blocks (input, forget, cell-candidate, output).
+The forget gate bias is initialized to 1.0, the standard trick that
+prevents early training from forgetting everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+@dataclass
+class LSTMState:
+    """Hidden state of a (possibly multi-layer) LSTM.
+
+    ``h[k]`` and ``c[k]`` are the hidden/cell arrays of layer ``k``,
+    each shaped ``(B, H)``.
+    """
+
+    h: list[np.ndarray]
+    c: list[np.ndarray]
+
+    def copy(self) -> "LSTMState":
+        """Deep copy (used to snapshot state around what-if predictions)."""
+        return LSTMState(h=[a.copy() for a in self.h], c=[a.copy() for a in self.c])
+
+
+@dataclass
+class _StepCache:
+    """Per-timestep activations cached by the forward pass for BPTT."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMCell(Module):
+    """A single LSTM layer operating one timestep at a time."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        name: str = "lstm_cell",
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_input = Parameter(
+            xavier_uniform(rng, input_size, 4 * h, (input_size, 4 * h)),
+            name=f"{name}.w_input",
+        )
+        recurrent = np.concatenate([orthogonal(rng, (h, h)) for _ in range(4)], axis=1)
+        self.w_recurrent = Parameter(recurrent, name=f"{name}.w_recurrent")
+        bias = np.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name=f"{name}.bias")
+
+    def step(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, _StepCache]:
+        """One timestep: returns ``(h, c, cache)``.
+
+        ``x`` is ``(B, input_size)``; ``h_prev``/``c_prev`` are ``(B, H)``.
+        """
+        h_size = self.hidden_size
+        z = x @ self.w_input.value + h_prev @ self.w_recurrent.value + self.bias.value
+        i = sigmoid(z[:, :h_size])
+        f = sigmoid(z[:, h_size : 2 * h_size])
+        g = np.tanh(z[:, 2 * h_size : 3 * h_size])
+        o = sigmoid(z[:, 3 * h_size :])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = _StepCache(x=x, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, c=c, tanh_c=tanh_c)
+        return h, c, cache
+
+    def step_inference(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One timestep without gradient caching — the hot path.
+
+        The hybrid simulator calls this once per packet, so it avoids
+        everything :meth:`step` does for training's sake: no cache
+        object, no branch-masked stable sigmoid (a clip to [-60, 60]
+        keeps ``exp`` exact-in-float64 and overflow-free at a fraction
+        of the cost).
+        """
+        h_size = self.hidden_size
+        z = x @ self.w_input.value + h_prev @ self.w_recurrent.value + self.bias.value
+        np.clip(z, -60.0, 60.0, out=z)
+        gates = 1.0 / (1.0 + np.exp(-z))
+        i = gates[:, :h_size]
+        f = gates[:, h_size : 2 * h_size]
+        o = gates[:, 3 * h_size :]
+        g = np.tanh(z[:, 2 * h_size : 3 * h_size])
+        c = f * c_prev + i * g
+        h = o * np.tanh(c)
+        return h, c
+
+    def backward_step(
+        self, grad_h: np.ndarray, grad_c: np.ndarray, cache: _StepCache
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through one timestep.
+
+        Parameters
+        ----------
+        grad_h:
+            dL/dh for this step (sum of output-head gradient and the
+            recurrent gradient flowing back from step t+1).
+        grad_c:
+            dL/dc flowing back from step t+1.
+        cache:
+            Activations saved by :meth:`step`.
+
+        Returns
+        -------
+        (grad_x, grad_h_prev, grad_c_prev)
+            Gradients to propagate to the layer below and to step t-1.
+            Parameter gradients are accumulated in place.
+        """
+        i, f, g, o = cache.i, cache.f, cache.g, cache.o
+        dc = grad_c + grad_h * o * (1.0 - cache.tanh_c**2)
+        do = grad_h * cache.tanh_c
+        di = dc * g
+        df = dc * cache.c_prev
+        dg = dc * i
+        dz = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        self.w_input.grad += cache.x.T @ dz
+        self.w_recurrent.grad += cache.h_prev.T @ dz
+        self.bias.grad += dz.sum(axis=0)
+        grad_x = dz @ self.w_input.value.T
+        grad_h_prev = dz @ self.w_recurrent.value.T
+        grad_c_prev = dc * f
+        return grad_x, grad_h_prev, grad_c_prev
+
+
+class LSTM(Module):
+    """Stack of :class:`LSTMCell` layers.
+
+    Parameters
+    ----------
+    input_size:
+        Feature width of the input sequence.
+    hidden_size:
+        Hidden width of every layer (the paper uses 128).
+    num_layers:
+        Stack depth (the paper uses 2).
+    rng:
+        Generator for initialization.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        name: str = "lstm",
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.layers = [
+            LSTMCell(
+                input_size if k == 0 else hidden_size,
+                hidden_size,
+                rng,
+                name=f"{name}.layer{k}",
+            )
+            for k in range(num_layers)
+        ]
+        self._caches: Optional[list[list[_StepCache]]] = None  # [layer][t]
+
+    def initial_state(self, batch_size: int) -> LSTMState:
+        """Zero state for a batch of the given size."""
+        shape = (batch_size, self.hidden_size)
+        return LSTMState(
+            h=[np.zeros(shape) for _ in range(self.num_layers)],
+            c=[np.zeros(shape) for _ in range(self.num_layers)],
+        )
+
+    def forward(
+        self, x: np.ndarray, state: Optional[LSTMState] = None
+    ) -> tuple[np.ndarray, LSTMState]:
+        """Run a full sequence; caches activations for :meth:`backward`.
+
+        ``x`` is ``(T, B, input_size)``; returns top-layer outputs
+        ``(T, B, hidden_size)`` and the final state.
+        """
+        steps, batch, _ = x.shape
+        if state is None:
+            state = self.initial_state(batch)
+        h = [a.copy() for a in state.h]
+        c = [a.copy() for a in state.c]
+        self._caches = [[] for _ in range(self.num_layers)]
+        outputs = np.empty((steps, batch, self.hidden_size))
+        for t in range(steps):
+            layer_in = x[t]
+            for k, cell in enumerate(self.layers):
+                h[k], c[k], cache = cell.step(layer_in, h[k], c[k])
+                self._caches[k].append(cache)
+                layer_in = h[k]
+            outputs[t] = h[-1]
+        return outputs, LSTMState(h=h, c=c)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        """Full BPTT over the window cached by the last :meth:`forward`.
+
+        ``grad_outputs`` is dL/d(top-layer output) of shape ``(T, B, H)``.
+        Returns dL/dx of shape ``(T, B, input_size)``.  The gradient into
+        the initial state is discarded (training always starts windows
+        from a detached state, as PyTorch users do with
+        truncated BPTT).
+        """
+        if self._caches is None:
+            raise RuntimeError("backward() called before forward()")
+        steps = len(self._caches[0])
+        batch = grad_outputs.shape[1]
+        zero = np.zeros((batch, self.hidden_size))
+        grad_h = [zero.copy() for _ in range(self.num_layers)]
+        grad_c = [zero.copy() for _ in range(self.num_layers)]
+        grad_x = np.empty((steps, batch, self.input_size))
+        for t in range(steps - 1, -1, -1):
+            # Top layer receives the loss gradient plus its own recurrence.
+            down = grad_outputs[t]
+            for k in range(self.num_layers - 1, -1, -1):
+                total_h = grad_h[k] + down
+                gx, gh, gc = self.layers[k].backward_step(total_h, grad_c[k], self._caches[k][t])
+                grad_h[k], grad_c[k] = gh, gc
+                down = gx  # flows into the layer below as its output grad
+            grad_x[t] = down
+        self._caches = None
+        return grad_x
+
+    def step(self, x: np.ndarray, state: LSTMState) -> tuple[np.ndarray, LSTMState]:
+        """Stateful single-step inference (no caching, no gradients).
+
+        ``x`` is ``(B, input_size)``; returns the top-layer hidden output
+        ``(B, H)`` and the updated state.  This is the call the hybrid
+        simulator makes once per packet.
+        """
+        h = list(state.h)
+        c = list(state.c)
+        layer_in = x
+        for k, cell in enumerate(self.layers):
+            h[k], c[k] = cell.step_inference(layer_in, h[k], c[k])
+            layer_in = h[k]
+        return h[-1], LSTMState(h=h, c=c)

@@ -1,0 +1,93 @@
+"""Parameter and module containers.
+
+There is no autograd here — each layer implements explicit ``forward``
+and ``backward`` methods and accumulates gradients into its
+:class:`Parameter` objects.  This keeps the substrate small, auditable,
+and numerically checkable (see ``repro.nn.gradcheck``), which is what a
+reproduction needs more than generality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    value:
+        The parameter array (updated in place by optimizers).
+    grad:
+        Accumulated gradient of the loss w.r.t. ``value``; same shape.
+    name:
+        Dotted path used in serialization and error messages.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter array."""
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or '?'}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register :class:`Parameter` attributes and sub-``Module``
+    attributes simply by assigning them; :meth:`parameters` walks the
+    object graph in deterministic (attribute insertion) order.
+    """
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters, depth-first, insertion order."""
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                yield attr
+            elif isinstance(attr, Module):
+                yield from attr.parameters()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Parameter):
+                        yield item
+                    elif isinstance(item, Module):
+                        yield from item.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield (dotted-name, parameter) pairs for serialization."""
+        for name, attr in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(attr, Parameter):
+                yield path, attr
+            elif isinstance(attr, Module):
+                yield from attr.named_parameters(prefix=f"{path}.")
+            elif isinstance(attr, (list, tuple)):
+                for i, item in enumerate(attr):
+                    sub = f"{path}.{i}"
+                    if isinstance(item, Parameter):
+                        yield sub, item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{sub}.")
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.value.size for p in self.parameters())

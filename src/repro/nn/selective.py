@@ -1,0 +1,98 @@
+"""Per-sample selectable linear heads (mixture-of-heads routing).
+
+Section 7 of the paper points at "multi-scale and hierarchical
+recurrent neural network models [that] can simultaneously capture
+macro and micro effects" as a future direction.  The lightest
+hierarchical coupling consistent with the paper's macro/micro split is
+to condition the *prediction heads* on the macro state: one linear
+head per congestion regime, hard-selected per packet by the macro
+classifier's output.  The LSTM trunk stays shared (micro dynamics);
+the mapping from hidden state to drop/latency becomes regime-specific
+(macro dynamics).
+
+:class:`SelectiveLinear` implements K parallel ``(in_features -> 1)``
+heads with per-sample integer routing, with exact gradients (verified
+by the test suite's numerical checks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+class SelectiveLinear(Module):
+    """K parallel scalar heads; per-sample selection by index.
+
+    Parameters
+    ----------
+    in_features:
+        Input width (the trunk's hidden size).
+    num_heads:
+        Number of selectable heads (4 for the macro states).
+    rng:
+        Initialization generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        name: str = "selective",
+    ) -> None:
+        if num_heads < 1:
+            raise ValueError(f"num_heads must be >= 1, got {num_heads}")
+        self.in_features = in_features
+        self.num_heads = num_heads
+        self.weight = Parameter(
+            xavier_uniform(rng, in_features, 1, (num_heads, in_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(num_heads), name=f"{name}.bias")
+        self._last_input: Optional[np.ndarray] = None
+        self._last_index: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """Apply head ``index[i]`` to sample ``x[i]``.
+
+        ``x`` is ``(..., in_features)``; ``index`` matches the leading
+        shape and holds ints in ``[0, num_heads)``.  Returns ``(...)``.
+        """
+        index = np.asarray(index, dtype=np.intp)
+        if index.shape != x.shape[:-1]:
+            raise ValueError(
+                f"index shape {index.shape} does not match input leading "
+                f"shape {x.shape[:-1]}"
+            )
+        if index.size and (index.min() < 0 or index.max() >= self.num_heads):
+            raise ValueError(
+                f"head indices must be in [0, {self.num_heads}), got "
+                f"[{index.min()}, {index.max()}]"
+            )
+        self._last_input = x
+        self._last_index = index
+        selected = self.weight.value[index]  # (..., in_features)
+        return (selected * x).sum(axis=-1) + self.bias.value[index]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate per-head gradients; return dL/dx."""
+        if self._last_input is None or self._last_index is None:
+            raise RuntimeError("backward() called before forward()")
+        x = self._last_input
+        index = self._last_index
+        grad = np.asarray(grad_out)
+        flat_x = x.reshape(-1, self.in_features)
+        flat_idx = index.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        np.add.at(self.weight.grad, flat_idx, flat_x * flat_grad[:, None])
+        np.add.at(self.bias.grad, flat_idx, flat_grad)
+        return self.weight.value[index] * grad[..., None]
+
+    def forward_single(self, x: np.ndarray, head: int) -> float:
+        """Scalar fast path for inference: one sample, one head."""
+        return float(x @ self.weight.value[head] + self.bias.value[head])

@@ -1,0 +1,57 @@
+"""Model serialization.
+
+The paper's workflow (Figure 3) trains a cluster model once and then
+*reuses* it across large-scale simulations; that requires durable model
+files.  We store parameters as an ``.npz`` archive keyed by the dotted
+parameter names from :meth:`Module.named_parameters`, plus arbitrary
+metadata arrays under a reserved prefix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_PREFIX = "__meta__:"
+
+
+def save_module_state(
+    module: Module, path: str | Path, metadata: Optional[dict[str, np.ndarray]] = None
+) -> None:
+    """Save all parameters of ``module`` (and optional metadata) to ``path``."""
+    arrays: dict[str, np.ndarray] = {
+        name: param.value for name, param in module.named_parameters()
+    }
+    for key, value in (metadata or {}).items():
+        arrays[_META_PREFIX + key] = np.asarray(value)
+    np.savez(path, **arrays)
+
+
+def load_module_state(module: Module, path: str | Path) -> dict[str, np.ndarray]:
+    """Load parameters saved by :func:`save_module_state` into ``module``.
+
+    Returns the metadata dict.  Raises ``KeyError`` if the file is
+    missing a parameter the module expects, and ``ValueError`` on shape
+    mismatch — silent partial loads would corrupt experiments.
+    """
+    with np.load(path) as archive:
+        data = {key: archive[key] for key in archive.files}
+    for name, param in module.named_parameters():
+        if name not in data:
+            raise KeyError(f"checkpoint {path} is missing parameter {name!r}")
+        value = data[name]
+        if value.shape != param.value.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: checkpoint {value.shape}, "
+                f"module {param.value.shape}"
+            )
+        param.value[...] = value
+    return {
+        key[len(_META_PREFIX) :]: value
+        for key, value in data.items()
+        if key.startswith(_META_PREFIX)
+    }

@@ -1,0 +1,245 @@
+"""PDES orchestration and the single-threaded reference runner.
+
+:func:`run_parallel_simulation` spawns worker processes, waits for all
+of them to finish setup (topology build, routing, flow registration),
+then measures wall-clock time from the moment it releases them to the
+moment the last reports done — so the reported simulated-seconds-per-
+second covers the event processing and synchronization, not Python
+process startup (the paper's Figure 1 likewise excludes model setup).
+
+:func:`run_single_threaded` runs the identical workload on one
+in-process simulator for the baseline series.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des.kernel import Simulator
+from repro.flowsim.simulator import FlowSpec
+from repro.net.network import Network, NetworkConfig
+from repro.net.tcp.receiver import TcpReceiver
+from repro.net.tcp.sender import TcpSender
+from repro.pdes.worker import FLOW_DST_PORT, FLOW_PORT_BASE, WorkerStats, worker_main
+from repro.topology.graph import Topology
+from repro.topology.partition import cross_partition_links, partition_for_workers
+
+
+@dataclass(frozen=True)
+class PdesConfig:
+    """Parameters of one PDES run.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes (1 = windowed loop, no exchanges).
+    duration_s:
+        Simulated time to cover.
+    window_s:
+        Synchronization window; must not exceed the minimum cut-link
+        propagation delay (checked against the topology at run time —
+        ``None`` selects exactly that minimum, the maximum safe
+        lookahead).
+    seed:
+        Workload / simulator seed.
+    """
+
+    workers: int = 2
+    duration_s: float = 0.01
+    window_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+
+
+@dataclass
+class PdesResult:
+    """Outcome of a (parallel or single-threaded) run."""
+
+    sim_seconds: float
+    wallclock_seconds: float
+    events_executed: int
+    flows_completed: int
+    drops: int
+    workers: int
+    cross_partition_messages: int = 0
+    cut_links: int = 0
+    rtt_samples: list[float] = field(default_factory=list)
+    fcts: list[float] = field(default_factory=list)
+
+    @property
+    def sim_seconds_per_second(self) -> float:
+        """Figure 1's y-axis."""
+        if self.wallclock_seconds <= 0:
+            return float("inf")
+        return self.sim_seconds / self.wallclock_seconds
+
+
+def _resolve_window(topology: Topology, partitions: list[set[str]], config: PdesConfig) -> float:
+    """Pick/validate the synchronization window (the lookahead)."""
+    owner: dict[str, int] = {}
+    for index, nodes in enumerate(partitions):
+        for name in nodes:
+            owner[name] = index
+    cut_delays = [
+        link.delay_s for link in topology.links if owner[link.a] != owner[link.b]
+    ]
+    max_safe = min(cut_delays) if cut_delays else config.duration_s
+    if config.window_s is None:
+        return max_safe
+    if config.window_s > max_safe + 1e-18:
+        raise ValueError(
+            f"window_s={config.window_s} exceeds minimum cut-link delay {max_safe}; "
+            "conservative causality would be violated"
+        )
+    return config.window_s
+
+
+def run_parallel_simulation(
+    topology: Topology,
+    flows: list[FlowSpec],
+    config: PdesConfig,
+    net_config: Optional[NetworkConfig] = None,
+) -> PdesResult:
+    """Execute the workload across ``config.workers`` processes."""
+    net_config = net_config or NetworkConfig()
+    partitions = partition_for_workers(topology, config.workers)
+    window = _resolve_window(topology, partitions, config)
+
+    ctx = mp.get_context("fork")
+    parent_ends: list = []
+    worker_parent_ends: list = []
+    for _ in range(config.workers):
+        parent_end, worker_end = ctx.Pipe(duplex=True)
+        parent_ends.append(parent_end)
+        worker_parent_ends.append(worker_end)
+    # Full mesh between workers.
+    peer_conns: list[dict[int, object]] = [dict() for _ in range(config.workers)]
+    for i in range(config.workers):
+        for j in range(i + 1, config.workers):
+            end_i, end_j = ctx.Pipe(duplex=True)
+            peer_conns[i][j] = end_i
+            peer_conns[j][i] = end_j
+
+    processes = []
+    for index in range(config.workers):
+        process = ctx.Process(
+            target=worker_main,
+            args=(
+                index,
+                topology,
+                partitions,
+                flows,
+                net_config,
+                config.duration_s,
+                window,
+                config.seed,
+                worker_parent_ends[index],
+                peer_conns[index],
+            ),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+
+    try:
+        for conn in parent_ends:
+            tag, _ = conn.recv()
+            assert tag == "ready"
+        started = _wallclock.perf_counter()
+        for conn in parent_ends:
+            conn.send("go")
+        stats: list[WorkerStats] = []
+        for conn in parent_ends:
+            tag, worker_stats = conn.recv()
+            assert tag == "done"
+            stats.append(worker_stats)
+        elapsed = _wallclock.perf_counter() - started
+        for conn in parent_ends:
+            conn.send("exit")
+    finally:
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    rtts: list[float] = []
+    fcts: list[float] = []
+    for worker_stats in stats:
+        rtts.extend(worker_stats.rtt_samples)
+        fcts.extend(worker_stats.fcts)
+    return PdesResult(
+        sim_seconds=config.duration_s,
+        wallclock_seconds=elapsed,
+        events_executed=sum(s.events_executed for s in stats),
+        flows_completed=sum(s.flows_completed for s in stats),
+        drops=sum(s.drops for s in stats),
+        workers=config.workers,
+        cross_partition_messages=sum(s.messages_sent for s in stats),
+        cut_links=cross_partition_links(topology, partitions),
+        rtt_samples=rtts,
+        fcts=fcts,
+    )
+
+
+def run_single_threaded(
+    topology: Topology,
+    flows: list[FlowSpec],
+    duration_s: float,
+    seed: int = 0,
+    net_config: Optional[NetworkConfig] = None,
+) -> PdesResult:
+    """Run the identical workload on one in-process simulator."""
+    net_config = net_config or NetworkConfig()
+    sim = Simulator(seed=seed)
+    network = Network(sim, topology, config=net_config)
+    fcts: list[float] = []
+
+    for flow in flows:
+        receiver = TcpReceiver(
+            host=network.host(flow.dst),
+            peer=flow.src,
+            src_port=FLOW_DST_PORT,
+            dst_port=FLOW_PORT_BASE + flow.flow_id,
+            config=net_config.tcp,
+        )
+        network.host(flow.dst).register_receiver(receiver)
+        sender = TcpSender(
+            host=network.host(flow.src),
+            dst=flow.dst,
+            src_port=FLOW_PORT_BASE + flow.flow_id,
+            dst_port=FLOW_DST_PORT,
+            total_bytes=flow.size_bytes,
+            config=net_config.tcp,
+            on_complete=fcts.append,
+            rtt_monitor=network.host(flow.src).rtt_monitor,
+        )
+        network.host(flow.src).register_sender(sender)
+        sim.schedule_at(flow.start_time, sender.start)
+
+    started = _wallclock.perf_counter()
+    sim.run(until=duration_s)
+    elapsed = _wallclock.perf_counter() - started
+
+    rtts: list[float] = []
+    for monitor in network.rtt_monitors.values():
+        rtts.extend(monitor.values.tolist())
+    return PdesResult(
+        sim_seconds=duration_s,
+        wallclock_seconds=elapsed,
+        events_executed=sim.events_executed,
+        flows_completed=len(fcts),
+        drops=network.total_drops,
+        workers=1,
+        rtt_samples=rtts,
+        fcts=fcts,
+    )

@@ -1,0 +1,76 @@
+"""Remote-link stubs: the seam between PDES partitions.
+
+A port whose peer lives in another partition is wired to a
+:class:`RemoteStub` instead of the real entity.  The stub is invoked at
+*transmission-complete* time (the port's propagation delay is zeroed by
+the worker during wiring); it adds the link's real propagation delay
+itself and records an outbound message.  Because the window length is
+at most the minimum cut-link delay, every message produced during a
+window is deliverable only in a later window — the conservative
+causality guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.des.kernel import Simulator
+from repro.net.packet import Packet
+from repro.topology.graph import Topology
+
+
+@dataclass
+class RemoteMessage:
+    """One packet crossing a partition boundary.
+
+    Attributes
+    ----------
+    target_node:
+        Name of the receiving entity in the remote partition.
+    from_node:
+        Link endpoint the packet came from (receive() argument).
+    deliver_at:
+        Absolute simulated delivery time (send time + link delay).
+    packet:
+        The packet itself (pickled across the process boundary —
+        the serialization cost MPI-based PDES also pays).
+    """
+
+    target_node: str
+    from_node: str
+    deliver_at: float
+    packet: Packet
+
+
+class RemoteStub:
+    """Receiver standing in for a node owned by another partition."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_name: str,
+        owner_worker: int,
+        topology: Topology,
+        outbox: dict[int, dict[tuple[str, str], list[RemoteMessage]]],
+    ) -> None:
+        self.sim = sim
+        self.name = node_name
+        self.owner_worker = owner_worker
+        self.topology = topology
+        self.outbox = outbox
+
+    def receive(self, packet: Packet, from_node: str) -> None:
+        """Queue the packet for the owning worker.
+
+        Called at transmission-complete time; adds the link's real
+        propagation delay to produce the delivery timestamp.
+        """
+        delay = self.topology.link_between(from_node, self.name).delay_s
+        message = RemoteMessage(
+            target_node=self.name,
+            from_node=from_node,
+            deliver_at=self.sim.now + delay,
+            packet=packet,
+        )
+        per_link = self.outbox.setdefault(self.owner_worker, {})
+        per_link.setdefault((from_node, self.name), []).append(message)

@@ -1,0 +1,202 @@
+"""PDES worker process.
+
+Each worker owns one partition: it builds a partition-local
+:class:`~repro.net.network.Network` (remote nodes excluded, their ports
+wired to :class:`~repro.pdes.stub.RemoteStub`), pre-registers the TCP
+endpoints of every flow touching its partition, and then executes the
+synchronous-window protocol:
+
+    run events in (T, T + window] -> exchange cut-link messages with
+    every peer (null entries included) -> schedule arrivals -> repeat.
+
+The window equals the minimum cut-link propagation delay (the
+lookahead), so every exchanged message is deliverable strictly after
+the barrier — conservative causality with no rollbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Optional
+
+from repro.des.kernel import Simulator
+from repro.flowsim.simulator import FlowSpec
+from repro.net.network import Network, NetworkConfig
+from repro.net.tcp.receiver import TcpReceiver
+from repro.net.tcp.sender import TcpSender
+from repro.pdes.stub import RemoteMessage, RemoteStub
+from repro.topology.graph import Topology
+from repro.topology.routing import EcmpRouting
+
+#: Transport port offset for pre-registered PDES flows; must match on
+#: the sender and receiver side of every flow.
+FLOW_PORT_BASE = 10_000
+FLOW_DST_PORT = 80
+
+
+@dataclass
+class WorkerStats:
+    """What a worker reports back to the parent after the run."""
+
+    worker_index: int
+    events_executed: int
+    messages_sent: int
+    flows_completed: int
+    fcts: list[float]
+    rtt_samples: list[float]
+    drops: int
+
+
+def worker_main(
+    worker_index: int,
+    topology: Topology,
+    partitions: list[set[str]],
+    flows: list[FlowSpec],
+    net_config: NetworkConfig,
+    duration_s: float,
+    window_s: float,
+    seed: int,
+    parent_conn: Connection,
+    peer_conns: dict[int, Connection],
+) -> None:
+    """Entry point executed inside each worker process."""
+    partition = partitions[worker_index]
+    owner_of: dict[str, int] = {}
+    for index, nodes in enumerate(partitions):
+        for name in nodes:
+            owner_of[name] = index
+
+    sim = Simulator(seed=seed + worker_index)
+    routing = EcmpRouting(topology)
+    outbox: dict[int, dict[tuple[str, str], list[RemoteMessage]]] = {}
+
+    remote_neighbors = {
+        link.other(name)
+        for name in partition
+        for link in (topology.link_between(name, nbr) for nbr in topology.neighbors(name))
+        if link.other(name) not in partition
+    }
+    stubs = {
+        name: RemoteStub(sim, name, owner_of[name], topology, outbox)
+        for name in remote_neighbors
+    }
+    excluded = {node.name for node in topology.nodes if node.name not in partition}
+    network = Network(
+        sim,
+        topology,
+        config=net_config,
+        routing=routing,
+        excluded_nodes=excluded,
+        receiver_overrides=stubs,
+    )
+    # Cut ports: zero the port-side propagation (the stub re-adds the
+    # real link delay when timestamping the remote delivery).
+    cut_links_toward: dict[int, list[tuple[str, str]]] = {}
+    for (owner, peer), port in network.ports().items():
+        if peer in stubs:
+            port.delay_s = 0.0
+            cut_links_toward.setdefault(owner_of[peer], []).append((owner, peer))
+
+    fcts: list[float] = []
+    flows_completed = 0
+
+    def make_on_complete() -> callable:
+        def on_complete(fct: float) -> None:
+            nonlocal flows_completed
+            flows_completed += 1
+            fcts.append(fct)
+
+        return on_complete
+
+    for flow in flows:
+        src_local = flow.src in partition
+        dst_local = flow.dst in partition
+        if dst_local:
+            receiver = TcpReceiver(
+                host=network.host(flow.dst),
+                peer=flow.src,
+                src_port=FLOW_DST_PORT,
+                dst_port=FLOW_PORT_BASE + flow.flow_id,
+                config=net_config.tcp,
+            )
+            network.host(flow.dst).register_receiver(receiver)
+        if src_local:
+            sender = TcpSender(
+                host=network.host(flow.src),
+                dst=flow.dst,
+                src_port=FLOW_PORT_BASE + flow.flow_id,
+                dst_port=FLOW_DST_PORT,
+                total_bytes=flow.size_bytes,
+                config=net_config.tcp,
+                on_complete=make_on_complete(),
+                rtt_monitor=network.host(flow.src).rtt_monitor,
+            )
+            network.host(flow.src).register_sender(sender)
+            sim.schedule_at(flow.start_time, sender.start)
+
+    entities: dict[str, object] = {}
+    entities.update(network.hosts)
+    entities.update(network.switches)
+    messages_sent = 0
+
+    parent_conn.send(("ready", worker_index))
+    go = parent_conn.recv()
+    assert go == "go", f"unexpected parent message {go!r}"
+
+    # ------------------------------------------------------------------
+    # Synchronous-window main loop.
+    # ------------------------------------------------------------------
+    peers = sorted(peer_conns)
+    now = 0.0
+    while now < duration_s - 1e-15:
+        window_end = min(now + window_s, duration_s)
+        sim.run(until=window_end)
+        for peer in peers:
+            links = cut_links_toward.get(peer, [])
+            pending = outbox.get(peer, {})
+            payload = {link: pending.pop(link, []) for link in links}
+            conn = peer_conns[peer]
+            # Pairwise ordered exchange (lower index sends first) —
+            # deadlock-free without threads.
+            if worker_index < peer:
+                conn.send(payload)
+                incoming = conn.recv()
+            else:
+                incoming = conn.recv()
+                conn.send(payload)
+            messages_sent += sum(len(msgs) for msgs in payload.values())
+            _schedule_incoming(sim, entities, incoming, window_end)
+        now = window_end
+
+    rtts: list[float] = []
+    for monitor in network.rtt_monitors.values():
+        rtts.extend(monitor.values.tolist())
+    stats = WorkerStats(
+        worker_index=worker_index,
+        events_executed=sim.events_executed,
+        messages_sent=messages_sent,
+        flows_completed=flows_completed,
+        fcts=fcts,
+        rtt_samples=rtts,
+        drops=network.total_drops,
+    )
+    parent_conn.send(("done", stats))
+    parent_conn.recv()  # final release before exiting
+
+
+def _schedule_incoming(
+    sim: Simulator,
+    entities: dict[str, object],
+    incoming: dict[tuple[str, str], list[RemoteMessage]],
+    window_end: float,
+) -> None:
+    """Schedule delivery events for messages received at a barrier."""
+    for messages in incoming.values():
+        for message in messages:
+            entity = entities[message.target_node]
+            deliver_at = max(message.deliver_at, window_end)
+            sim.schedule_at(
+                deliver_at,
+                lambda e=entity, m=message: e.receive(m.packet, m.from_node),
+            )

@@ -1,0 +1,36 @@
+"""Network topology models and builders.
+
+Provides the graph representation used by the packet simulator, the
+flow-level simulator, and the PDES partitioner, plus builders for the
+two topology families in the paper's evaluation:
+
+* :func:`build_clos` — the canonical 3-layer Clos deployment of
+  Section 2 (servers, ToR switches, Cluster switches, Core switches),
+  organized into clusters — the paper's unit of approximation.
+* :func:`build_leaf_spine` — the leaf-spine topologies of Figure 1.
+"""
+
+from repro.topology.graph import Link, Node, NodeRole, Topology
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.fattree import FatTreeParams, build_fat_tree
+from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
+from repro.topology.routing import EcmpRouting, ecmp_hash, name_key
+from repro.topology.partition import cluster_of, partition_by_cluster
+
+__all__ = [
+    "ClosParams",
+    "EcmpRouting",
+    "FatTreeParams",
+    "LeafSpineParams",
+    "Link",
+    "Node",
+    "NodeRole",
+    "Topology",
+    "build_clos",
+    "build_fat_tree",
+    "build_leaf_spine",
+    "cluster_of",
+    "ecmp_hash",
+    "name_key",
+    "partition_by_cluster",
+]

@@ -1,0 +1,153 @@
+"""Builder for 3-layer Clos data center topologies.
+
+The paper's canonical deployment (Section 2, Figure 2): servers connect
+to Top-of-Rack switches, ToRs to Cluster (aggregation) switches, and
+Cluster switches to Core switches.  "We refer to the components under a
+single ToR as a rack, and the subtree of components under and including
+a group of Cluster switches as a cluster."  The evaluation's clusters
+contain "four switches and eight servers" (Section 6.2), which this
+builder produces with its defaults: 2 ToRs x 2 Cluster switches and
+4 servers per rack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.graph import Node, NodeRole, Topology
+
+#: 10 GbE, the link speed used throughout the paper's evaluation.
+DEFAULT_RATE_BPS = 10e9
+#: Intra-DC propagation delay per hop; a few hundred ns of fiber plus
+#: switch ingress latency, the figure commonly used for DC simulations.
+DEFAULT_DELAY_S = 1e-6
+
+
+@dataclass(frozen=True)
+class ClosParams:
+    """Parameters of a 3-layer Clos topology.
+
+    Defaults produce the paper's evaluation cluster shape: each cluster
+    has 2 ToR + 2 Cluster switches (four switches) and 2 racks x 4
+    servers (eight servers).
+
+    Attributes
+    ----------
+    clusters:
+        Number of clusters (the paper sweeps 2, 4, 8, 16).
+    tors_per_cluster:
+        Racks per cluster.
+    aggs_per_cluster:
+        Cluster (aggregation) switches per cluster.
+    servers_per_tor:
+        Servers per rack.
+    cores:
+        Number of core switches; each connects to every Cluster switch.
+    rate_bps, delay_s:
+        Uniform link capacity and propagation delay.
+    """
+
+    clusters: int = 2
+    tors_per_cluster: int = 2
+    aggs_per_cluster: int = 2
+    servers_per_tor: int = 4
+    cores: int = 2
+    rate_bps: float = DEFAULT_RATE_BPS
+    delay_s: float = DEFAULT_DELAY_S
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "clusters",
+            "tors_per_cluster",
+            "aggs_per_cluster",
+            "servers_per_tor",
+            "cores",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    @property
+    def servers_per_cluster(self) -> int:
+        """Servers in one cluster."""
+        return self.tors_per_cluster * self.servers_per_tor
+
+    @property
+    def total_servers(self) -> int:
+        """Servers in the whole topology."""
+        return self.clusters * self.servers_per_cluster
+
+    @property
+    def switches_per_cluster(self) -> int:
+        """ToR plus Cluster switches in one cluster."""
+        return self.tors_per_cluster + self.aggs_per_cluster
+
+
+def server_name(cluster: int, tor: int, slot: int) -> str:
+    """Canonical name of a server (cluster, rack, slot)."""
+    return f"server-c{cluster}-t{tor}-s{slot}"
+
+
+def tor_name(cluster: int, tor: int) -> str:
+    """Canonical name of a ToR switch."""
+    return f"tor-c{cluster}-{tor}"
+
+
+def agg_name(cluster: int, agg: int) -> str:
+    """Canonical name of a Cluster (aggregation) switch."""
+    return f"agg-c{cluster}-{agg}"
+
+
+def core_name(core: int) -> str:
+    """Canonical name of a Core switch."""
+    return f"core-{core}"
+
+
+def build_clos(params: ClosParams) -> Topology:
+    """Construct a 3-layer Clos topology per Figure 2.
+
+    Wiring: every server to its rack's ToR; every ToR to every Cluster
+    switch of its cluster; every Cluster switch to every Core switch.
+    """
+    topo = Topology(name=f"clos-{params.clusters}x{params.switches_per_cluster}")
+    for core in range(params.cores):
+        topo.add_node(Node(core_name(core), NodeRole.CORE, cluster=None, index=core))
+    for cluster in range(params.clusters):
+        for agg in range(params.aggs_per_cluster):
+            topo.add_node(
+                Node(agg_name(cluster, agg), NodeRole.CLUSTER, cluster=cluster, index=agg)
+            )
+        for tor in range(params.tors_per_cluster):
+            topo.add_node(Node(tor_name(cluster, tor), NodeRole.TOR, cluster=cluster, index=tor))
+            for slot in range(params.servers_per_tor):
+                server_index = tor * params.servers_per_tor + slot
+                topo.add_node(
+                    Node(
+                        server_name(cluster, tor, slot),
+                        NodeRole.SERVER,
+                        cluster=cluster,
+                        index=server_index,
+                    )
+                )
+        # Wire the cluster.
+        for tor in range(params.tors_per_cluster):
+            for slot in range(params.servers_per_tor):
+                topo.add_link(
+                    server_name(cluster, tor, slot),
+                    tor_name(cluster, tor),
+                    params.rate_bps,
+                    params.delay_s,
+                )
+            for agg in range(params.aggs_per_cluster):
+                topo.add_link(
+                    tor_name(cluster, tor),
+                    agg_name(cluster, agg),
+                    params.rate_bps,
+                    params.delay_s,
+                )
+        for agg in range(params.aggs_per_cluster):
+            for core in range(params.cores):
+                topo.add_link(
+                    agg_name(cluster, agg), core_name(core), params.rate_bps, params.delay_s
+                )
+    topo.validate_connected()
+    return topo

@@ -1,0 +1,68 @@
+"""Builder for leaf-spine (2-layer folded Clos) topologies.
+
+Figure 1's motivation experiment sweeps leaf-spine topologies: "a
+leaf-spine topology with 10 GbE links and racks of four servers.  We
+vary the size of the network by increasing the number of ToRs and
+Cluster switches from 4 to 64, while maintaining oversubscription and
+average load."  In a leaf-spine, every leaf (ToR) connects to every
+spine, which is what makes the network "highly interconnected" and
+PDES synchronization expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.clos import DEFAULT_DELAY_S, DEFAULT_RATE_BPS
+from repro.topology.graph import Node, NodeRole, Topology
+
+
+@dataclass(frozen=True)
+class LeafSpineParams:
+    """Parameters of a leaf-spine topology.
+
+    Attributes
+    ----------
+    tors:
+        Number of leaf (ToR) switches; Figure 1 sweeps 4..64.
+    spines:
+        Number of spine switches; Figure 1 keeps this equal to ``tors``.
+    servers_per_tor:
+        Rack size; Figure 1 uses 4.
+    rate_bps, delay_s:
+        Uniform link capacity and propagation delay.
+    """
+
+    tors: int = 4
+    spines: int = 4
+    servers_per_tor: int = 4
+    rate_bps: float = DEFAULT_RATE_BPS
+    delay_s: float = DEFAULT_DELAY_S
+
+    def __post_init__(self) -> None:
+        for field_name in ("tors", "spines", "servers_per_tor"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    @property
+    def total_servers(self) -> int:
+        """Servers in the whole topology."""
+        return self.tors * self.servers_per_tor
+
+
+def build_leaf_spine(params: LeafSpineParams) -> Topology:
+    """Construct a full-bipartite leaf-spine topology."""
+    topo = Topology(name=f"leafspine-{params.tors}x{params.spines}")
+    for spine in range(params.spines):
+        topo.add_node(Node(f"spine-{spine}", NodeRole.CLUSTER, cluster=None, index=spine))
+    for tor in range(params.tors):
+        topo.add_node(Node(f"tor-{tor}", NodeRole.TOR, cluster=tor, index=tor))
+        for slot in range(params.servers_per_tor):
+            topo.add_node(
+                Node(f"server-t{tor}-s{slot}", NodeRole.SERVER, cluster=tor, index=slot)
+            )
+            topo.add_link(f"server-t{tor}-s{slot}", f"tor-{tor}", params.rate_bps, params.delay_s)
+        for spine in range(params.spines):
+            topo.add_link(f"tor-{tor}", f"spine-{spine}", params.rate_bps, params.delay_s)
+    topo.validate_connected()
+    return topo

@@ -1,0 +1,81 @@
+"""Partitioning helpers.
+
+Two consumers need to split a topology into regions:
+
+* the hybrid simulator partitions a Clos topology by *cluster* — the
+  paper's unit of approximation (Section 4);
+* the PDES engine partitions any topology into balanced groups of
+  switches plus their attached servers, one group per worker.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import NodeRole, Topology
+
+
+def cluster_of(topology: Topology, node_name: str) -> int | None:
+    """Cluster index of a node (None for core switches)."""
+    return topology.node(node_name).cluster
+
+
+def partition_by_cluster(topology: Topology) -> dict[int, list[str]]:
+    """Map cluster index -> node names in that cluster.
+
+    Core switches (cluster None) are excluded; the paper keeps the core
+    layer fully simulated in all configurations (Section 5).
+    """
+    partitions: dict[int, list[str]] = {}
+    for node in topology.nodes:
+        if node.cluster is None:
+            continue
+        partitions.setdefault(node.cluster, []).append(node.name)
+    return partitions
+
+
+def partition_for_workers(topology: Topology, workers: int) -> list[set[str]]:
+    """Split nodes into ``workers`` balanced partitions for PDES.
+
+    Strategy: distribute racks (a ToR and its servers move together)
+    round-robin across workers, then distribute the remaining switches
+    (spines/aggs/cores) round-robin.  Keeping rack-internal traffic
+    within one partition minimizes cross-partition events for the
+    traffic that never leaves the rack, which is the best case for
+    conservative PDES; everything crossing the fabric still pays
+    synchronization — the effect Figure 1 demonstrates.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    partitions: list[set[str]] = [set() for _ in range(workers)]
+    tors = topology.nodes_with_role(NodeRole.TOR)
+    for i, tor in enumerate(tors):
+        target = partitions[i % workers]
+        target.add(tor.name)
+        for neighbor in topology.neighbors(tor.name):
+            if topology.node(neighbor).role is NodeRole.SERVER:
+                target.add(neighbor)
+    other_switches = [
+        node
+        for node in topology.nodes
+        if node.role in (NodeRole.CLUSTER, NodeRole.CORE)
+    ]
+    for i, switch in enumerate(other_switches):
+        partitions[i % workers].add(switch.name)
+    # Any stragglers (servers not under a ToR, unusual topologies).
+    assigned = set().union(*partitions) if partitions else set()
+    leftovers = [node.name for node in topology.nodes if node.name not in assigned]
+    for i, name in enumerate(leftovers):
+        partitions[i % workers].add(name)
+    return partitions
+
+
+def cross_partition_links(topology: Topology, partitions: list[set[str]]) -> int:
+    """Count links whose endpoints live in different partitions.
+
+    This is the synchronization surface of a PDES partitioning: every
+    cross-partition link forces null-message/window traffic.
+    """
+    owner: dict[str, int] = {}
+    for i, part in enumerate(partitions):
+        for name in part:
+            owner[name] = i
+    return sum(1 for link in topology.links if owner[link.a] != owner[link.b])

@@ -1,0 +1,131 @@
+"""ECMP routing tables.
+
+The paper's evaluation uses "TCP New Reno and ECMP" (Section 6).  ECMP
+(equal-cost multi-path) forwards each flow over one of the shortest
+paths to the destination, chosen by a deterministic hash of the flow
+identifier so that all packets of a flow take the same path (avoiding
+reordering).
+
+:class:`EcmpRouting` precomputes, for every (node, destination) pair,
+the set of next hops that lie on some shortest path, via one BFS per
+destination.  At forwarding time the next hop is
+``nexthops[flow_hash % len(nexthops)]``.
+
+The paper also notes (Section 4.2) that ECMP path choice is
+deterministic given the header, which is what lets the approximated
+cluster compute "the ToR, Cluster, and Core switches that the packet
+would pass through" as model features without simulating the fabric —
+:meth:`EcmpRouting.path` provides exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.topology.graph import Topology
+
+#: Multiplier/increment of a splitmix-style integer hash; chosen for
+#: good avalanche behaviour on small integers.
+_HASH_MULT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def name_key(name: str) -> int:
+    """Stable small-integer encoding of a node name for hashing.
+
+    Needed because :func:`ecmp_hash` consumes integers and Python's
+    ``hash`` of strings is randomized per process.
+    """
+    value = 0
+    for ch in name.encode("utf-8"):
+        value = (value * 131 + ch) & _MASK64
+    return value
+
+
+def ecmp_hash(*components: int) -> int:
+    """Deterministic, platform-stable hash of flow identifier components.
+
+    Python's builtin ``hash`` is randomized per process; this one is
+    stable across runs, which determinism of experiments requires.
+    """
+    state = 0x243F6A8885A308D3
+    for component in components:
+        state = (state ^ (component & _MASK64)) * _HASH_MULT & _MASK64
+        state ^= state >> 31
+    return state
+
+
+class EcmpRouting:
+    """Precomputed ECMP next-hop tables for a topology.
+
+    Next-hop lists are sorted by node name so the table is independent
+    of graph insertion order.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        # _nexthops[dst][node] -> sorted list of neighbor names on
+        # shortest paths from node to dst.
+        self._nexthops: dict[str, dict[str, list[str]]] = {}
+        self._distance: dict[str, dict[str, int]] = {}
+        for node in topology.nodes:
+            self._compute_for_destination(node.name)
+
+    def _compute_for_destination(self, dst: str) -> None:
+        topo = self.topology
+        dist: dict[str, int] = {dst: 0}
+        queue: deque[str] = deque([dst])
+        while queue:
+            current = queue.popleft()
+            for neighbor in topo.neighbors(current):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        nexthops: dict[str, list[str]] = {}
+        for name, d in dist.items():
+            if name == dst:
+                continue
+            hops = [nbr for nbr in topo.neighbors(name) if dist.get(nbr, float("inf")) == d - 1]
+            nexthops[name] = sorted(hops)
+        self._nexthops[dst] = nexthops
+        self._distance[dst] = dist
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def next_hops(self, node: str, dst: str) -> list[str]:
+        """All equal-cost next hops from ``node`` toward ``dst``."""
+        if node == dst:
+            return []
+        try:
+            return self._nexthops[dst][node]
+        except KeyError:
+            raise KeyError(f"no route from {node!r} to {dst!r}") from None
+
+    def next_hop(self, node: str, dst: str, flow_hash: int) -> str:
+        """The ECMP-selected next hop for a flow at ``node``."""
+        hops = self.next_hops(node, dst)
+        if not hops:
+            raise KeyError(f"no route from {node!r} to {dst!r}")
+        return hops[flow_hash % len(hops)]
+
+    def distance(self, src: str, dst: str) -> int:
+        """Hop count of the shortest path."""
+        return self._distance[dst][src]
+
+    def path(self, src: str, dst: str, flow_hash: int) -> list[str]:
+        """The full ECMP path a flow takes, including both endpoints.
+
+        Deterministic given the flow hash — used by the approximated
+        cluster's feature extractor to name the switches a packet
+        *would* traverse (paper Section 4.2).
+        """
+        path = [src]
+        current = src
+        while current != dst:
+            current = self.next_hop(current, dst, flow_hash)
+            path.append(current)
+            if len(path) > self.topology.node_count:
+                raise RuntimeError(f"routing loop from {src!r} to {dst!r}")
+        return path

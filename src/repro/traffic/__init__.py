@@ -1,0 +1,44 @@
+"""Workload generation.
+
+The paper's traffic is "drawn from a well-known trace of datacenter web
+traffic [3]" — the DCTCP web-search workload (Alizadeh et al.,
+SIGCOMM 2010).  We embed the standard digitization of that flow-size
+CDF (:data:`WEB_SEARCH_CDF`), Poisson flow arrivals calibrated to a
+target offered load, and the traffic-matrix policies experiments need
+(uniform any-to-any, permutation, incast, intra-cluster mixes).
+"""
+
+from repro.traffic.distributions import (
+    DATA_MINING_CDF,
+    EmpiricalSizeDistribution,
+    UNIFORM_SMALL_CDF,
+    WEB_SEARCH_CDF,
+    web_search_sizes,
+)
+from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.traffic.matrix import (
+    IncastMatrix,
+    PermutationMatrix,
+    TrafficMatrix,
+    UniformMatrix,
+)
+from repro.traffic.apps import FlowRecord, TrafficGenerator
+from repro.traffic.partition_aggregate import PartitionAggregateGenerator, QueryRecord
+
+__all__ = [
+    "DATA_MINING_CDF",
+    "EmpiricalSizeDistribution",
+    "FlowRecord",
+    "IncastMatrix",
+    "PartitionAggregateGenerator",
+    "QueryRecord",
+    "PermutationMatrix",
+    "PoissonArrivals",
+    "TrafficGenerator",
+    "TrafficMatrix",
+    "UNIFORM_SMALL_CDF",
+    "UniformMatrix",
+    "WEB_SEARCH_CDF",
+    "arrival_rate_for_load",
+    "web_search_sizes",
+]

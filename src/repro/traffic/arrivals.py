@@ -1,0 +1,62 @@
+"""Flow arrival processes and load calibration.
+
+Figure 1 "maintain[s] oversubscription and average load" while scaling
+the topology; :func:`arrival_rate_for_load` is the calibration that
+makes that possible: given a target fraction of server access-link
+capacity and the workload's mean flow size, it returns the network-wide
+Poisson arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def arrival_rate_for_load(
+    load: float, num_servers: int, link_rate_bps: float, mean_flow_bytes: float
+) -> float:
+    """Network-wide flow arrival rate (flows/s) for a target load.
+
+    ``load`` is the average fraction of each server's access-link
+    capacity consumed by traffic it *sources*:
+
+    ``rate = load * num_servers * link_rate / (mean_flow_size * 8)``
+    """
+    if not 0.0 < load:
+        raise ValueError(f"load must be positive, got {load}")
+    if mean_flow_bytes <= 0:
+        raise ValueError(f"mean_flow_bytes must be positive, got {mean_flow_bytes}")
+    return load * num_servers * link_rate_bps / (mean_flow_bytes * 8.0)
+
+
+class PoissonArrivals:
+    """Memoryless flow inter-arrival sampler.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> arrivals = PoissonArrivals(rate_per_s=100.0)
+    >>> gap = arrivals.next_gap(np.random.default_rng(0))
+    >>> gap > 0
+    True
+    """
+
+    def __init__(self, rate_per_s: float) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        """Sample one exponential inter-arrival gap in seconds."""
+        return float(rng.exponential(1.0 / self.rate_per_s))
+
+    def arrival_times(self, rng: np.random.Generator, until: float) -> Iterator[float]:
+        """Yield arrival instants in (0, until)."""
+        t = 0.0
+        while True:
+            t += self.next_gap(rng)
+            if t >= until:
+                return
+            yield t

@@ -1,0 +1,119 @@
+"""Empirical flow-size distributions.
+
+:data:`WEB_SEARCH_CDF` is the standard digitization of the web-search
+workload measured in the DCTCP paper (Alizadeh et al., SIGCOMM 2010,
+reference [3] of the paper being reproduced) — the same digitization
+shipped with the pFabric/PIAS/Homa simulation artifacts.  Sizes are in
+bytes (the original table is in 1460-byte packets).  The distribution
+is heavy-tailed: >95% of flows are small queries/updates but >80% of
+bytes come from multi-megabyte responses — the property that creates
+the multi-timescale congestion regimes the paper's macro model tracks.
+
+:data:`DATA_MINING_CDF` (the companion VL2/data-mining workload) and a
+small uniform distribution are included for generality tests and
+ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_PACKET_BYTES = 1460
+
+#: (size_bytes, cumulative_probability) knots; piecewise-linear between.
+WEB_SEARCH_CDF: tuple[tuple[float, float], ...] = tuple(
+    (packets * _PACKET_BYTES, probability)
+    for packets, probability in (
+        (1, 0.0),
+        (6, 0.15),
+        (13, 0.2),
+        (19, 0.3),
+        (33, 0.4),
+        (53, 0.53),
+        (133, 0.6),
+        (667, 0.7),
+        (1333, 0.8),
+        (3333, 0.9),
+        (6667, 0.97),
+        (20000, 1.0),
+    )
+)
+
+#: VL2 / data-mining workload digitization (bytes).
+DATA_MINING_CDF: tuple[tuple[float, float], ...] = tuple(
+    (packets * _PACKET_BYTES, probability)
+    for packets, probability in (
+        (1, 0.0),
+        (1, 0.5),
+        (2, 0.6),
+        (3, 0.7),
+        (7, 0.8),
+        (267, 0.9),
+        (2107, 0.95),
+        (66667, 0.99),
+        (666667, 1.0),
+    )
+)
+
+#: Light uniform distribution for fast unit tests (1..10 packets).
+UNIFORM_SMALL_CDF: tuple[tuple[float, float], ...] = (
+    (1 * _PACKET_BYTES, 0.0),
+    (10 * _PACKET_BYTES, 1.0),
+)
+
+
+class EmpiricalSizeDistribution:
+    """Inverse-transform sampler over a piecewise-linear CDF.
+
+    Parameters
+    ----------
+    cdf:
+        Sequence of (size, cumulative_probability) knots; sizes strictly
+        increasing (ties allowed for atoms), probabilities nondecreasing,
+        first probability 0.0 and last 1.0.
+    """
+
+    def __init__(self, cdf: Sequence[tuple[float, float]]) -> None:
+        if len(cdf) < 2:
+            raise ValueError("CDF needs at least two knots")
+        sizes = np.array([size for size, _ in cdf], dtype=np.float64)
+        probs = np.array([p for _, p in cdf], dtype=np.float64)
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ValueError("CDF must start at probability 0 and end at 1")
+        if np.any(np.diff(probs) < 0) or np.any(np.diff(sizes) < 0):
+            raise ValueError("CDF knots must be nondecreasing")
+        self._sizes = sizes
+        self._probs = probs
+
+    def sample(self, rng: np.random.Generator, n: int | None = None) -> np.ndarray | float:
+        """Draw flow sizes in bytes (scalar if ``n`` is None)."""
+        u = rng.random() if n is None else rng.random(n)
+        result = np.interp(u, self._probs, self._sizes)
+        if n is None:
+            return float(max(result, 1.0))
+        return np.maximum(result, 1.0)
+
+    def mean(self) -> float:
+        """Exact mean of the piecewise-linear distribution.
+
+        Each linear CDF segment contributes a uniform chunk with mass
+        ``dp`` and mean ``(size_i + size_{i+1}) / 2``; zero-mass
+        segments (vertical jumps in size) contribute nothing.
+        """
+        sizes, probs = self._sizes, self._probs
+        dp = np.diff(probs)
+        mids = (sizes[:-1] + sizes[1:]) / 2.0
+        return float(np.sum(dp * mids))
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at probability ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.interp(q, self._probs, self._sizes))
+
+
+def web_search_sizes() -> EmpiricalSizeDistribution:
+    """The paper's workload: DCTCP web-search flow sizes."""
+    return EmpiricalSizeDistribution(WEB_SEARCH_CDF)

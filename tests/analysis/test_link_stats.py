@@ -1,0 +1,66 @@
+"""Tests for per-link utilization reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.link_stats import collect_link_reports, format_link_report
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.topology.clos import server_name
+
+
+def _loaded_network(small_clos, duration=0.01):
+    sim = Simulator(seed=88)
+    net = Network(sim, small_clos, NetworkConfig())
+    sender = net.host(server_name(0, 0, 0)).open_flow(
+        net.host(server_name(0, 0, 1)), 5_000_000
+    )
+    sender.start()
+    sim.run(until=duration)
+    return net
+
+
+class TestLinkReports:
+    def test_sorted_by_utilization(self, small_clos):
+        net = _loaded_network(small_clos)
+        reports = collect_link_reports(net, duration_s=0.01)
+        assert len(reports) == len(net.ports())
+        utils = [r.utilization for r in reports]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_busiest_link_is_on_the_flow_path(self, small_clos):
+        net = _loaded_network(small_clos)
+        busiest = collect_link_reports(net, duration_s=0.01)[0]
+        on_path = {
+            (server_name(0, 0, 0), "tor-c0-0"),
+            ("tor-c0-0", server_name(0, 0, 1)),
+        }
+        assert (busiest.link_from, busiest.link_to) in on_path
+        # 5 MB at 10 Gbps finishes in ~4.2 ms, i.e. ~40% of the 10 ms
+        # reporting window.
+        assert busiest.utilization > 0.3
+
+    def test_idle_links_zero(self, small_clos):
+        net = _loaded_network(small_clos)
+        reports = collect_link_reports(net, duration_s=0.01)
+        idle = [r for r in reports if r.link_from.startswith("core")]
+        assert all(r.utilization == 0.0 for r in idle)
+
+    def test_peak_queue_recorded(self, small_clos):
+        net = _loaded_network(small_clos)
+        reports = {(r.link_from, r.link_to): r for r in collect_link_reports(net, 0.01)}
+        bottleneck = reports[("tor-c0-0", server_name(0, 0, 1))]
+        assert bottleneck.peak_queue_bytes > 0
+
+    def test_format_top_n(self, small_clos):
+        net = _loaded_network(small_clos)
+        reports = collect_link_reports(net, duration_s=0.01)
+        text = format_link_report(reports, top=3)
+        assert len(text.splitlines()) == 5  # header + rule + 3 rows
+        assert "util" in text
+
+    def test_invalid_duration(self, small_clos):
+        net = _loaded_network(small_clos)
+        with pytest.raises(ValueError):
+            collect_link_reports(net, duration_s=0.0)

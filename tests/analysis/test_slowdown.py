@@ -1,0 +1,128 @@
+"""Tests for FCT slowdown analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.slowdown import (
+    DEFAULT_BUCKETS,
+    flow_slowdowns,
+    format_slowdown_table,
+    ideal_fct_s,
+    slowdown_by_bucket,
+)
+from repro.traffic.apps import FlowRecord
+
+
+def _record(size, fct, start=0.0):
+    record = FlowRecord(src="a", dst="b", size_bytes=size, start_time=start)
+    if fct is not None:
+        record.completion_time = start + fct
+    return record
+
+
+class TestIdealFct:
+    def test_one_packet_flow(self):
+        # 1000B payload -> 1040B on wire at 1 Gbps + 10us RTT.
+        ideal = ideal_fct_s(1000, 1e9, 1e-5)
+        assert ideal == pytest.approx(1e-5 + 1040 * 8 / 1e9)
+
+    def test_header_overhead_per_mss(self):
+        one_mss = ideal_fct_s(1460, 1e9, 0.0)
+        two_segments = ideal_fct_s(1461, 1e9, 0.0)
+        # The extra byte forces a second header.
+        assert two_segments > one_mss + 8 / 1e9
+
+    def test_monotone_in_size(self):
+        values = [ideal_fct_s(s, 1e9, 1e-5) for s in (1, 1460, 100_000, 1_000_000)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_fct_s(0, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            ideal_fct_s(100, 0.0, 0.0)
+
+
+class TestFlowSlowdowns:
+    def test_ideal_flow_slowdown_one(self):
+        ideal = ideal_fct_s(100_000, 1e9, 1e-5)
+        pairs = flow_slowdowns([_record(100_000, ideal)], 1e9, 1e-5)
+        assert pairs[0][1] == pytest.approx(1.0)
+
+    def test_floor_at_one(self):
+        pairs = flow_slowdowns([_record(100_000, 1e-9)], 1e9, 1e-5)
+        assert pairs[0][1] == 1.0
+
+    def test_incomplete_flows_skipped(self):
+        pairs = flow_slowdowns([_record(1000, None)], 1e9, 1e-5)
+        assert pairs == []
+
+    def test_congested_flow_has_high_slowdown(self):
+        ideal = ideal_fct_s(10_000, 1e9, 1e-5)
+        pairs = flow_slowdowns([_record(10_000, 10 * ideal)], 1e9, 1e-5)
+        assert pairs[0][1] == pytest.approx(10.0)
+
+
+class TestBuckets:
+    def test_bucketing_and_labels(self):
+        flows = [
+            _record(5_000, 1e-3),     # <=10KB
+            _record(50_000, 2e-3),    # 10KB-100KB
+            _record(5_000_000, 0.1),  # 1MB-10MB
+        ]
+        summaries = slowdown_by_bucket(flows, 1e9, 1e-5)
+        labels = [s.bucket_label for s in summaries]
+        assert labels == ["<=10KB", "10KB-100KB", "1MB-10MB"]
+        assert all(s.flows == 1 for s in summaries)
+
+    def test_empty_buckets_omitted(self):
+        summaries = slowdown_by_bucket([_record(100, 1e-4)], 1e9, 1e-5)
+        assert len(summaries) == 1
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown_by_bucket([], 1e9, 1e-5, bucket_edges=(100, 10))
+
+    def test_format_table(self):
+        summaries = slowdown_by_bucket(
+            [_record(5_000, 1e-3), _record(8_000, 2e-3)], 1e9, 1e-5
+        )
+        text = format_slowdown_table(summaries)
+        assert "slowdown_p50" in text
+        assert "<=10KB" in text
+
+
+class TestEndToEndSlowdown:
+    def test_from_real_simulation(self, small_clos):
+        """Slowdowns from an actual congested run are >= 1 and heavier
+        at high load."""
+        from repro.core.pipeline import ExperimentConfig, run_full_simulation
+        from repro.topology.clos import ClosParams
+        from repro.traffic.apps import FlowRecord
+
+        def median_slowdown(load):
+            config = ExperimentConfig(
+                clos=ClosParams(clusters=2), load=load, duration_s=0.006, seed=161
+            )
+            # Re-run manually to get FlowRecords with sizes.
+            from repro.core.pipeline import make_generator
+            from repro.des.kernel import Simulator
+            from repro.net.network import Network
+            from repro.topology.clos import build_clos
+
+            sim = Simulator(seed=config.seed)
+            net = Network(sim, build_clos(config.clos), config=config.net)
+            gen = make_generator(sim, net, config)
+            gen.start()
+            sim.run(until=config.duration_s)
+            pairs = flow_slowdowns(gen.flows, 10e9, 13e-6)
+            assert pairs, "no completed flows"
+            import numpy as np
+
+            return float(np.median([s for _, s in pairs]))
+
+        low = median_slowdown(0.1)
+        high = median_slowdown(0.6)
+        assert low >= 1.0 and high >= 1.0
+        assert high >= low

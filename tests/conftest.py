@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
+from repro.topology.routing import EcmpRouting
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def small_clos():
+    """The paper's evaluation cluster shape, 2 clusters (session-cached)."""
+    return build_clos(ClosParams(clusters=2))
+
+
+@pytest.fixture(scope="session")
+def small_clos_routing(small_clos):
+    """ECMP tables for the small Clos (session-cached)."""
+    return EcmpRouting(small_clos)
+
+
+@pytest.fixture(scope="session")
+def tiny_leafspine():
+    """A 2x2 leaf-spine with 2 servers per rack (session-cached)."""
+    return build_leaf_spine(LeafSpineParams(tors=2, spines=2, servers_per_tor=2))

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface (in-process, via main())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.clusters == 2
+        assert args.load == 0.25
+
+
+class TestInfo:
+    def test_lists_features(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro " in out
+        assert "gap_log_us" in out
+        assert "macro_minimal" in out
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code = main([
+            "simulate", "--clusters", "2", "--load", "0.15",
+            "--duration", "0.002", "--seed", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full simulation" in out
+        assert "events executed" in out
+        assert "flows started" in out
+
+    def test_trace_csv(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        code = main([
+            "simulate", "--duration", "0.001", "--load", "0.1",
+            "--trace-csv", str(trace_path),
+        ])
+        assert code == 0
+        assert trace_path.exists()
+        header = trace_path.read_text().splitlines()[0]
+        assert header.startswith("time,kind")
+
+
+class TestTrainAndHybrid:
+    def test_full_cli_workflow(self, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        code = main([
+            "train", "--clusters", "2", "--load", "0.25",
+            "--duration", "0.005", "--seed", "12",
+            "--output", str(model_dir),
+            "--hidden", "16", "--layers", "1", "--batches", "20",
+        ])
+        assert code == 0
+        assert (model_dir / "bundle.json").exists()
+        out = capsys.readouterr().out
+        assert "saved model bundle" in out
+
+        code = main([
+            "hybrid", "--model", str(model_dir),
+            "--clusters", "4", "--duration", "0.002", "--seed", "13",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hybrid simulation (per-cluster)" in out
+        assert "model packets" in out
+
+    def test_hybrid_missing_model_exits_2(self, tmp_path, capsys):
+        code = main([
+            "hybrid", "--model", str(tmp_path / "nope"), "--duration", "0.001",
+        ])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_evaluate_subcommand(self, tmp_path, capsys):
+        model_dir = tmp_path / "eval_model"
+        assert main([
+            "train", "--duration", "0.005", "--seed", "15",
+            "--output", str(model_dir), "--hidden", "16", "--batches", "20",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "evaluate", "--model", str(model_dir),
+            "--duration", "0.004", "--seed", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drop_pred" in out
+        assert "ingress" in out
+
+    def test_gru_training_via_cli(self, tmp_path):
+        model_dir = tmp_path / "gru_model"
+        code = main([
+            "train", "--duration", "0.004", "--seed", "14",
+            "--output", str(model_dir), "--cell", "gru",
+            "--hidden", "16", "--batches", "10",
+        ])
+        assert code == 0
+        import json
+
+        meta = json.loads((model_dir / "bundle.json").read_text())
+        assert meta["config"]["cell"] == "gru"

@@ -1,0 +1,103 @@
+"""Tests for offline model evaluation and the AUC helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import roc_auc
+from repro.core.evaluation import evaluate_on_records
+from repro.core.features import Direction, RegionFeatureExtractor
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig, run_full_simulation
+from repro.core.training import train_cluster_model
+from repro.topology.clos import ClosParams
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [0, 0, 1, 1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_average(self):
+        # All scores equal -> AUC exactly 0.5 whatever the labels.
+        assert roc_auc([0.5, 0.5, 0.5, 0.5], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([0.1, 0.2], [1, 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([0.1], [1, 0])
+
+
+@pytest.fixture(scope="module")
+def trained_with_holdout():
+    """Train on the first 70% of a trace; hold out the rest."""
+    config = ExperimentConfig(
+        clos=ClosParams(clusters=2), load=0.3, duration_s=0.008, seed=71
+    )
+    output = run_full_simulation(config, collect_cluster=1)
+    records = sorted(output.records, key=lambda r: r.entry_time)
+    cut = int(len(records) * 0.7)
+    train_records, test_records = records[:cut], records[cut:]
+    micro = MicroModelConfig(
+        hidden_size=24, num_layers=1, window=12, train_batches=150,
+        learning_rate=3e-3,
+    )
+    topology = output.extractor.topology
+    routing = output.extractor.routing
+    trained = train_cluster_model(
+        train_records, RegionFeatureExtractor(topology, routing, 1), config=micro
+    )
+    fresh_extractor = RegionFeatureExtractor(topology, routing, 1)
+    return trained, test_records, fresh_extractor
+
+
+class TestEvaluateOnRecords:
+    def test_produces_metrics_per_direction(self, trained_with_holdout):
+        trained, test_records, extractor = trained_with_holdout
+        results = evaluate_on_records(trained, test_records, extractor)
+        assert results
+        for evaluation in results.values():
+            assert evaluation.samples > 0
+            assert 0.0 <= evaluation.drop_rate_predicted <= 1.0
+            assert np.isfinite(evaluation.latency_log_mae)
+            assert evaluation.latency_log_rmse >= evaluation.latency_log_mae
+
+    def test_latency_predictions_in_ballpark(self, trained_with_holdout):
+        """Held-out median predicted latency within ~10x of truth."""
+        trained, test_records, extractor = trained_with_holdout
+        results = evaluate_on_records(trained, test_records, extractor)
+        evaluation = results[Direction.INGRESS]
+        true_p50 = evaluation.latency_quantiles_true["p50"]
+        pred_p50 = evaluation.latency_quantiles_predicted["p50"]
+        assert 0.1 < pred_p50 / true_p50 < 10
+
+    def test_drop_rate_calibrated(self, trained_with_holdout):
+        """Mean predicted drop probability stays within 10x of the
+        *training* base rate (the quantity base-rate initialization and
+        BCE calibrate it to; a quiet hold-out window can legitimately
+        contain zero drops)."""
+        trained, test_records, extractor = trained_with_holdout
+        results = evaluate_on_records(trained, test_records, extractor)
+        for direction, evaluation in results.items():
+            train_rate = trained.training_summary.get(
+                f"{direction.value}_drop_fraction", 0.0
+            )
+            ceiling = 10 * max(train_rate, evaluation.drop_rate_true, 1e-4)
+            assert evaluation.drop_rate_predicted < ceiling + 0.01
+
+    def test_empty_records_rejected(self, trained_with_holdout):
+        trained, _, extractor = trained_with_holdout
+        with pytest.raises(ValueError):
+            evaluate_on_records(trained, [], extractor)

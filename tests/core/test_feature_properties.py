@@ -1,0 +1,84 @@
+"""Property-based tests of the feature extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import FEATURE_COUNT, RegionFeatureExtractor
+from repro.core.macro import MacroState
+from repro.net.packet import Packet
+from repro.topology.clos import ClosParams, build_clos, server_name
+from repro.topology.routing import EcmpRouting
+
+_TOPO = build_clos(ClosParams(clusters=2))
+_ROUTING = EcmpRouting(_TOPO)
+_SERVERS = [n.name for n in _TOPO.servers()]
+
+
+@st.composite
+def _packet_streams(draw):
+    n = draw(st.integers(1, 40))
+    stream = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+        src_idx = draw(st.integers(0, len(_SERVERS) - 1))
+        dst_idx = draw(st.integers(0, len(_SERVERS) - 2))
+        if dst_idx >= src_idx:
+            dst_idx += 1
+        payload = draw(st.sampled_from([0, 100, 1460]))
+        state = draw(st.sampled_from(list(MacroState)))
+        packet = Packet(
+            src=_SERVERS[src_idx], dst=_SERVERS[dst_idx],
+            src_port=draw(st.integers(1, 60_000)), dst_port=80,
+            payload_bytes=payload,
+            retransmission=draw(st.booleans()),
+        )
+        stream.append((packet, t, state))
+    return stream
+
+
+@given(_packet_streams())
+@settings(max_examples=60, deadline=None)
+def test_features_always_finite_and_bounded(stream):
+    """For arbitrary packet streams: vectors are the right shape, all
+    finite; indicator/normalized features live in [0, 1]; time features
+    are non-negative."""
+    extractor = RegionFeatureExtractor(_TOPO, _ROUTING, 1)
+    for packet, t, state in stream:
+        features = extractor.extract(packet, t, state)
+        assert features.shape == (FEATURE_COUNT,)
+        assert np.all(np.isfinite(features))
+        # Normalized identity/path/indicator features (all but gaps).
+        bounded = np.concatenate([features[:11], features[13:]])
+        assert np.all(bounded >= 0.0) and np.all(bounded <= 1.01)
+        assert features[11] >= 0.0 and features[12] >= 0.0  # log-gaps
+        # Exactly one macro state is hot.
+        assert features[17:21].sum() == 1.0
+
+
+@given(_packet_streams())
+@settings(max_examples=30, deadline=None)
+def test_gap_feature_monotone_in_elapsed_time(stream):
+    """Within one direction, a longer quiet period gives an equal or
+    larger gap feature than an instant follow-up."""
+    extractor = RegionFeatureExtractor(_TOPO, _ROUTING, 1)
+    # Feed the stream, then probe with two alternative follow-ups.
+    last_time = 0.0
+    probe = None
+    for packet, t, state in stream:
+        extractor.extract(packet, t, state)
+        last_time = t
+        probe = packet
+    import copy
+
+    short = RegionFeatureExtractor(_TOPO, _ROUTING, 1)
+    long = RegionFeatureExtractor(_TOPO, _ROUTING, 1)
+    for ext in (short, long):
+        for packet, t, state in stream:
+            ext.extract(packet, t, state)
+    f_short = short.extract(probe, last_time + 1e-6, MacroState.MINIMAL)
+    f_long = long.extract(probe, last_time + 1e-3, MacroState.MINIMAL)
+    assert f_long[11] >= f_short[11]

@@ -1,0 +1,128 @@
+"""Tests for the four-state auto-regressive macro classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.macro import (
+    AutoRegressiveMacroClassifier,
+    MacroCalibration,
+    MacroState,
+    calibrate_macro,
+)
+
+
+def _classifier(latency_low=1e-4, drop_high=0.05, bucket=0.001):
+    return AutoRegressiveMacroClassifier(
+        MacroCalibration(latency_low_s=latency_low, drop_rate_high=drop_high),
+        bucket_s=bucket,
+    )
+
+
+class TestMacroState:
+    def test_one_hot(self):
+        np.testing.assert_array_equal(MacroState.HIGH.one_hot(), [0, 0, 1, 0])
+        assert MacroState.MINIMAL.one_hot().sum() == 1.0
+
+
+class TestCalibration:
+    def test_thresholds_from_trace(self):
+        latencies = np.linspace(1e-5, 1e-3, 100)
+        drops = [0] * 95 + [1] * 5
+        cal = calibrate_macro(latencies, drops)
+        assert cal.latency_low_s == pytest.approx(np.quantile(latencies, 0.25))
+        assert cal.drop_rate_high == pytest.approx(0.1)  # 2 x 5%
+
+    def test_drop_floor(self):
+        cal = calibrate_macro([1e-4], [0])
+        assert cal.drop_rate_high == 0.005
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_macro([], [])
+
+    def test_roundtrip_arrays(self):
+        cal = MacroCalibration(latency_low_s=1e-4, drop_rate_high=0.02)
+        restored = MacroCalibration.from_arrays(cal.as_arrays())
+        assert restored == cal
+
+
+class TestClassifierStates:
+    def test_starts_minimal(self):
+        assert _classifier().state is MacroState.MINIMAL
+
+    def test_low_latency_stays_minimal(self):
+        clf = _classifier(latency_low=1e-4)
+        t = 0.0
+        for _ in range(50):
+            clf.observe(t, latency_s=2e-5)
+            t += 0.0005
+        assert clf.state is MacroState.MINIMAL
+
+    def test_rising_latency_increasing(self):
+        clf = _classifier(latency_low=1e-4)
+        t = 0.0
+        for i in range(60):
+            clf.observe(t, latency_s=1e-4 + i * 2e-5)
+            t += 0.0005
+        assert clf.state is MacroState.INCREASING
+
+    def test_falling_latency_decreasing(self):
+        clf = _classifier(latency_low=1e-5)
+        t = 0.0
+        # Rise first, then fall but stay above the 'minimal' threshold.
+        for i in range(40):
+            clf.observe(t, latency_s=1e-3 + i * 1e-4)
+            t += 0.0005
+        for i in range(40):
+            clf.observe(t, latency_s=5e-3 - i * 1e-4)
+            t += 0.0005
+        assert clf.state is MacroState.DECREASING
+
+    def test_heavy_drops_high(self):
+        clf = _classifier(drop_high=0.05)
+        t = 0.0
+        for i in range(100):
+            clf.observe(t, latency_s=1e-3, dropped=(i % 3 == 0))
+            t += 0.0005
+        assert clf.state is MacroState.HIGH
+
+    def test_full_congestion_cycle(self):
+        """Drive the classic cycle: calm -> ramp -> drops -> drain."""
+        clf = _classifier(latency_low=1e-4, drop_high=0.05, bucket=0.001)
+        states = []
+        t = 0.0
+
+        def run(n, latency, drop_every=0):
+            nonlocal t
+            for i in range(n):
+                dropped = drop_every > 0 and i % drop_every == 0
+                clf.observe(t, latency_s=latency(i), dropped=dropped)
+                t += 0.0004
+                states.append(clf.state)
+
+        run(30, lambda i: 2e-5)                     # calm
+        run(60, lambda i: 1e-4 + i * 5e-5)          # ramp
+        run(60, lambda i: 4e-3, drop_every=3)       # saturated
+        run(200, lambda i: max(4e-3 - i * 3e-5, 2e-4))  # drain
+        seen = set(states)
+        assert {
+            MacroState.MINIMAL,
+            MacroState.INCREASING,
+            MacroState.HIGH,
+            MacroState.DECREASING,
+        } <= seen
+
+    def test_emas_exposed(self):
+        clf = _classifier()
+        clf.observe(0.0, latency_s=1e-3, dropped=True)
+        assert clf.latency_ema == pytest.approx(1e-3)
+        assert clf.drop_ema > 0
+
+    def test_validation(self):
+        cal = MacroCalibration(1e-4, 0.05)
+        with pytest.raises(ValueError):
+            AutoRegressiveMacroClassifier(cal, bucket_s=0.0)
+        with pytest.raises(ValueError):
+            AutoRegressiveMacroClassifier(cal, ema_alpha=0.0)

@@ -1,0 +1,86 @@
+"""Property-based robustness tests of the macro classifier."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.macro import (
+    AutoRegressiveMacroClassifier,
+    MacroCalibration,
+    MacroState,
+)
+
+
+@st.composite
+def _observation_streams(draw):
+    n = draw(st.integers(1, 200))
+    t = 0.0
+    stream = []
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=0.01, allow_nan=False))
+        latency = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=1e-7, max_value=1.0, allow_nan=False),
+            )
+        )
+        dropped = draw(st.booleans())
+        stream.append((t, latency, dropped))
+    return stream
+
+
+@given(
+    _observation_streams(),
+    st.floats(min_value=1e-6, max_value=1e-2, allow_nan=False),
+    st.floats(min_value=1e-3, max_value=0.5, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_state_always_valid(stream, latency_low, drop_high):
+    """For arbitrary observation streams the classifier never crashes
+    and always reports one of the four paper states with consistent
+    EMAs."""
+    clf = AutoRegressiveMacroClassifier(
+        MacroCalibration(latency_low_s=latency_low, drop_rate_high=drop_high)
+    )
+    for t, latency, dropped in stream:
+        clf.observe(t, latency_s=latency, dropped=dropped)
+        assert clf.state in MacroState
+        assert 0.0 <= clf.drop_ema <= 1.0
+        if clf.latency_ema is not None:
+            assert clf.latency_ema > 0
+
+
+@given(_observation_streams())
+@settings(max_examples=50, deadline=None)
+def test_all_drops_eventually_high(stream):
+    """A sustained 100%-drop regime must classify as HIGH congestion."""
+    clf = AutoRegressiveMacroClassifier(
+        MacroCalibration(latency_low_s=1e-4, drop_rate_high=0.1)
+    )
+    t = stream[-1][0] if stream else 0.0
+    for t_obs, latency, _ in stream:
+        clf.observe(t_obs, latency_s=latency, dropped=True)
+    # Keep dropping over many buckets.
+    for i in range(50):
+        t += 0.002
+        clf.observe(t, latency_s=1e-3, dropped=True)
+    assert clf.state is MacroState.HIGH
+
+
+@given(_observation_streams())
+@settings(max_examples=50, deadline=None)
+def test_quiet_aftermath_leaves_high(stream):
+    """After congestion fully subsides (low latency, no drops), the
+    classifier must eventually return to MINIMAL whatever came before."""
+    clf = AutoRegressiveMacroClassifier(
+        MacroCalibration(latency_low_s=1e-4, drop_rate_high=0.1)
+    )
+    t = 0.0
+    for t_obs, latency, dropped in stream:
+        clf.observe(t_obs, latency_s=latency, dropped=dropped)
+        t = t_obs
+    for i in range(200):
+        t += 0.002
+        clf.observe(t, latency_s=1e-5, dropped=False)
+    assert clf.state is MacroState.MINIMAL

@@ -1,0 +1,79 @@
+"""Tests for independently trained per-cluster models (Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import RegionFeatureExtractor
+from repro.core.hybrid import HybridConfig, HybridSimulation
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig, run_hybrid_simulation
+from repro.core.training import RegionTraceCollector, train_cluster_model
+from repro.des.kernel import Simulator
+from repro.net.network import Network
+from repro.topology.clos import ClosParams, build_clos
+from repro.traffic.apps import TrafficGenerator
+from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.traffic.distributions import web_search_sizes
+from repro.traffic.matrix import UniformMatrix
+
+FAST_MICRO = MicroModelConfig(hidden_size=12, num_layers=1, window=8, train_batches=15)
+
+
+@pytest.fixture(scope="module")
+def independently_trained():
+    """Collect traces of clusters 1 and 2 from ONE full simulation and
+    train a separate model per cluster."""
+    config = ExperimentConfig(
+        clos=ClosParams(clusters=3), load=0.25, duration_s=0.006, seed=151
+    )
+    topo = build_clos(config.clos)
+    sim = Simulator(seed=config.seed)
+    net = Network(sim, topo, config=config.net)
+    collectors = {c: RegionTraceCollector(net, c) for c in (1, 2)}
+    sizes = web_search_sizes()
+    rate = arrival_rate_for_load(config.load, 24, 10e9, sizes.mean())
+    gen = TrafficGenerator(
+        sim, net, matrix=UniformMatrix(topo), sizes=sizes,
+        arrivals=PoissonArrivals(rate),
+    )
+    gen.start()
+    sim.run(until=config.duration_s)
+    models = {}
+    for cluster, collector in collectors.items():
+        records = collector.finalize()
+        assert len(records) > 50, f"cluster {cluster} trace too small"
+        extractor = RegionFeatureExtractor(topo, net.routing, cluster)
+        models[cluster] = train_cluster_model(records, extractor, config=FAST_MICRO)
+    return config, models
+
+
+class TestPerClusterModels:
+    def test_simultaneous_collectors_are_independent(self, independently_trained):
+        config, models = independently_trained
+        assert set(models) == {1, 2}
+        # The two traces came from different boundaries: different sizes.
+        s1 = models[1].training_summary.get("ingress_samples", 0)
+        s2 = models[2].training_summary.get("ingress_samples", 0)
+        assert s1 > 0 and s2 > 0
+
+    def test_hybrid_with_model_map(self, independently_trained):
+        config, models = independently_trained
+        result, hybrid = run_hybrid_simulation(config, models)
+        assert set(hybrid.models) == {1, 2}
+        assert hybrid.models[1].trained is models[1]
+        assert hybrid.models[2].trained is models[2]
+        assert result.model_packets > 0
+
+    def test_missing_cluster_rejected(self, independently_trained):
+        config, models = independently_trained
+        partial = {1: models[1]}
+        with pytest.raises(ValueError, match="missing clusters"):
+            run_hybrid_simulation(config, partial)
+
+    def test_map_rejected_in_blackbox_mode(self, independently_trained):
+        config, models = independently_trained
+        with pytest.raises(ValueError, match="single_black_box"):
+            run_hybrid_simulation(
+                config, models, hybrid=HybridConfig(single_black_box=True)
+            )

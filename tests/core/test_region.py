@@ -1,0 +1,126 @@
+"""Tests for the Region abstraction and single-black-box mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import BLACK_BOX_KEY, HybridConfig, HybridSimulation
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.region import Region
+from repro.topology.clos import ClosParams, build_clos, server_name
+from repro.topology.routing import EcmpRouting
+
+FAST_MICRO = MicroModelConfig(hidden_size=16, num_layers=1, window=8, train_batches=40)
+
+
+class TestRegionConstruction:
+    def test_cluster_region(self, small_clos):
+        region = Region.cluster(small_clos, 1)
+        assert region.switches == frozenset(
+            {"tor-c1-0", "tor-c1-1", "agg-c1-0", "agg-c1-1"}
+        )
+        assert len(region.shadow_servers) == 8
+        assert region.is_shadow_server(server_name(1, 0, 0))
+        assert not region.is_shadow_server(server_name(0, 0, 0))
+
+    def test_rest_of_network_region(self, small_clos):
+        region = Region.rest_of_network(small_clos, full_cluster=0)
+        # Cluster 1's fabric + both cores; cluster 0's fabric excluded.
+        assert "core-0" in region.switches and "core-1" in region.switches
+        assert "tor-c1-0" in region.switches
+        assert "tor-c0-0" not in region.switches
+        assert region.is_shadow_server(server_name(1, 1, 3))
+        assert not region.is_shadow_server(server_name(0, 0, 0))
+
+    def test_empty_region_rejected(self, small_clos):
+        with pytest.raises(ValueError):
+            Region.cluster(small_clos, 99)
+        with pytest.raises(ValueError):
+            Region(name="empty", switches=frozenset(), shadow_servers=frozenset())
+
+
+class TestEgressOnPath:
+    def test_cluster_region_egress_up(self, small_clos, small_clos_routing):
+        region = Region.cluster(small_clos, 1)
+        path = small_clos_routing.path(server_name(1, 0, 0), server_name(0, 0, 0), 5)
+        egress = region.egress_node_on_path(path)
+        assert egress.startswith("core-")
+
+    def test_rest_of_network_egress_into_full_cluster(
+        self, small_clos, small_clos_routing
+    ):
+        region = Region.rest_of_network(small_clos, full_cluster=0)
+        path = small_clos_routing.path(server_name(1, 0, 0), server_name(0, 0, 0), 5)
+        egress = region.egress_node_on_path(path)
+        assert egress.startswith("agg-c0-")
+
+    def test_path_not_touching_region_raises(self, small_clos, small_clos_routing):
+        region = Region.cluster(small_clos, 1)
+        path = small_clos_routing.path(server_name(0, 0, 0), server_name(0, 0, 1), 5)
+        with pytest.raises(ValueError):
+            region.egress_node_on_path(path)
+
+    def test_path_ending_inside_region_raises(self, small_clos):
+        region = Region.cluster(small_clos, 1)
+        with pytest.raises(ValueError):
+            region.egress_node_on_path([server_name(1, 0, 0), "tor-c1-0"])
+
+
+class TestSingleBlackBox:
+    @pytest.fixture(scope="class")
+    def blackbox_bundle(self):
+        """Train on the rest-of-network boundary of a 2-cluster sim."""
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.006, seed=61
+        )
+        topology = build_clos(config.clos)
+        region = Region.rest_of_network(topology, full_cluster=0)
+        trained, _ = train_reusable_model(
+            config, micro=FAST_MICRO, collect_cluster=region
+        )
+        return trained
+
+    def test_structure(self, blackbox_bundle):
+        from repro.des.kernel import Simulator
+
+        topo = build_clos(ClosParams(clusters=2))
+        hybrid = HybridSimulation(
+            Simulator(seed=1), topo, blackbox_bundle,
+            config=HybridConfig(single_black_box=True),
+        )
+        assert set(hybrid.models) == {BLACK_BOX_KEY}
+        # Only cluster 0's switches remain; not even the cores.
+        assert set(hybrid.network.switches) == {
+            "tor-c0-0", "tor-c0-1", "agg-c0-0", "agg-c0-1"
+        }
+        # All hosts still real.
+        assert len(hybrid.network.hosts) == 16
+
+    def test_end_to_end_run(self, blackbox_bundle):
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=62
+        )
+        result, hybrid = run_hybrid_simulation(
+            config, blackbox_bundle, hybrid=HybridConfig(single_black_box=True)
+        )
+        model = hybrid.models[BLACK_BOX_KEY]
+        assert model.packets_handled > 0
+        assert result.flows_completed > 0
+        assert len(result.rtt_samples) > 0
+
+    def test_blackbox_removes_more_events_than_cluster_unit(self, blackbox_bundle):
+        """The limit case elides strictly more of the network, so its
+        event count must undercut per-cluster approximation."""
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=63
+        )
+        per_cluster, _ = run_hybrid_simulation(config, blackbox_bundle)
+        blackbox, _ = run_hybrid_simulation(
+            config, blackbox_bundle, hybrid=HybridConfig(single_black_box=True)
+        )
+        assert blackbox.events_executed < per_cluster.events_executed

@@ -1,0 +1,127 @@
+"""Tests for Entity/Timer helpers and the statistics monitors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.entities import Entity, Timer
+from repro.des.kernel import Simulator
+from repro.des.monitors import Counter, Monitor, TimeSeries
+
+
+class TestEntity:
+    def test_schedule_relative(self, sim):
+        entity = Entity(sim, "thing")
+        fired = []
+        entity.schedule(1.5, lambda: fired.append(entity.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_now_tracks_sim(self, sim):
+        entity = Entity(sim, "thing")
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert entity.now == sim.now == 2.0
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(3.0)
+        sim.run()
+        assert fired == [3.0]
+        assert not timer.armed
+
+    def test_rearm_replaces_previous(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        timer.arm(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_expiry_visible_while_armed(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert timer.expiry is None
+        timer.arm(4.0)
+        assert timer.expiry == 4.0
+
+    def test_cancel_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.cancel()  # no error
+
+    def test_rearm_inside_callback(self, sim):
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 3:
+                timer.arm(1.0)
+
+        timer = Timer(sim, tick)
+        timer.arm(1.0)
+        sim.run()
+        assert count[0] == 3
+
+
+class TestMonitor:
+    def test_statistics(self):
+        m = Monitor("x")
+        m.extend([1.0, 2.0, 3.0, 4.0])
+        assert m.mean() == 2.5
+        assert m.min() == 1.0
+        assert m.max() == 4.0
+        assert len(m) == 4
+        assert m.percentile(50) == 2.5
+
+    def test_empty_monitor_nan(self):
+        m = Monitor("x")
+        assert np.isnan(m.mean())
+        assert np.isnan(m.percentile(99))
+
+
+class TestTimeSeries:
+    def test_window_selection(self):
+        ts = TimeSeries("q")
+        for t in range(10):
+            ts.record(float(t), float(t * 10))
+        window = ts.window(2.0, 5.0)
+        assert window.tolist() == [20.0, 30.0, 40.0]
+
+    def test_resample_mean(self):
+        ts = TimeSeries("lat")
+        ts.record(0.1, 1.0)
+        ts.record(0.2, 3.0)
+        ts.record(1.5, 10.0)
+        times, means = ts.resample_mean(1.0)
+        assert times.tolist() == [0.0, 1.0]
+        assert means.tolist() == [2.0, 10.0]
+
+    def test_resample_empty(self):
+        ts = TimeSeries("lat")
+        times, means = ts.resample_mean(1.0)
+        assert times.size == 0 and means.size == 0
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("drops")
+        c.increment()
+        c.increment(5)
+        assert int(c) == 6
+
+    def test_negative_rejected(self):
+        c = Counter("drops")
+        with pytest.raises(ValueError):
+            c.increment(-1)

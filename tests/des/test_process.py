@@ -1,0 +1,144 @@
+"""Tests for the generator-based process API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.process import Delay, Process, Signal
+
+
+class TestDelay:
+    def test_sleep_advances_time(self, sim):
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield Delay(1.5)
+            log.append(sim.now)
+            yield Delay(0.5)
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert log == [0.0, 1.5, 2.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_return_value_captured(self, sim):
+        def body():
+            yield Delay(1.0)
+            return "done"
+
+        process = Process(sim, body())
+        sim.run()
+        assert process.result == "done"
+        assert not process.alive
+
+
+class TestSignal:
+    def test_wakes_waiter_with_value(self, sim):
+        signal = Signal(sim)
+        received = []
+
+        def waiter():
+            value = yield signal
+            received.append((sim.now, value))
+
+        Process(sim, waiter())
+        sim.schedule(3.0, lambda: signal.fire("payload"))
+        sim.run()
+        assert received == [(3.0, "payload")]
+
+    def test_multiple_waiters_all_wake(self, sim):
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            yield signal
+            woken.append(tag)
+
+        for tag in ("a", "b", "c"):
+            Process(sim, waiter(tag))
+        sim.schedule(1.0, lambda: signal.fire())
+        sim.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_already_fired_signal_continues_immediately(self, sim):
+        signal = Signal(sim)
+        signal.fire(7)
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append((sim.now, value))
+
+        Process(sim, waiter())
+        sim.run()
+        assert got == [(0.0, 7)]
+
+    def test_double_fire_rejected(self, sim):
+        signal = Signal(sim)
+        signal.fire()
+        with pytest.raises(RuntimeError):
+            signal.fire()
+
+
+class TestProcessComposition:
+    def test_join_on_child_process(self, sim):
+        order = []
+
+        def child():
+            yield Delay(2.0)
+            order.append("child")
+            return 10
+
+        def parent():
+            child_process = Process(sim, child(), name="child")
+            value = yield child_process
+            order.append(("parent", sim.now, value))
+
+        Process(sim, parent(), name="parent")
+        sim.run()
+        assert order == ["child", ("parent", 2.0, 10)]
+
+    def test_pipeline_of_processes(self, sim):
+        """Producer fires a signal per item; consumer processes them."""
+        handoff = []
+        done = Signal(sim, "done")
+
+        def producer():
+            for i in range(3):
+                yield Delay(1.0)
+                handoff.append(i)
+            done.fire(len(handoff))
+
+        def consumer():
+            count = yield done
+            return count * 100
+
+        Process(sim, producer())
+        consumer_process = Process(sim, consumer())
+        sim.run()
+        assert consumer_process.result == 300
+        assert sim.now == 3.0
+
+    def test_yielding_garbage_raises(self, sim):
+        def body():
+            yield "not a waitable"
+
+        Process(sim, body())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_exception_in_process_propagates(self, sim):
+        def body():
+            yield Delay(1.0)
+            raise RuntimeError("boom")
+
+        process = Process(sim, body())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert not process.alive

@@ -1,0 +1,48 @@
+"""Tests for simulation-time-aware logging."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.des.kernel import Simulator
+from repro.des.simlog import SimTimeAdapter, get_sim_logger
+
+
+class TestSimLogger:
+    def test_prefix_contains_sim_time(self, sim, caplog):
+        log = get_sim_logger(sim, name="repro.test")
+        sim.schedule(1.25, lambda: log.info("hello"))
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            sim.run()
+        assert len(caplog.records) == 1
+        assert "[t=1.250000000] hello" in caplog.records[0].getMessage()
+
+    def test_component_tag(self, sim, caplog):
+        log = get_sim_logger(sim, name="repro.test", component="tor-0")
+        with caplog.at_level(logging.WARNING, logger="repro.test"):
+            log.warning("queue full")
+        assert "tor-0: queue full" in caplog.records[0].getMessage()
+
+    def test_for_component_child(self, sim, caplog):
+        base = get_sim_logger(sim, name="repro.test")
+        child = base.for_component("agg-1")
+        assert isinstance(child, SimTimeAdapter)
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            child.info("up")
+        assert "agg-1: up" in caplog.records[0].getMessage()
+
+    def test_time_advances_in_prefix(self, sim, caplog):
+        log = get_sim_logger(sim, name="repro.test")
+        for t in (0.5, 2.0):
+            sim.schedule(t, lambda: log.info("tick"))
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            sim.run()
+        messages = [r.getMessage() for r in caplog.records]
+        assert messages[0].startswith("[t=0.500000000]")
+        assert messages[1].startswith("[t=2.000000000]")
+
+    def test_formatting_args_pass_through(self, sim, caplog):
+        log = get_sim_logger(sim, name="repro.test")
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            log.info("value %d of %s", 7, "nine")
+        assert "value 7 of nine" in caplog.records[0].getMessage()

@@ -1,0 +1,106 @@
+"""Tests for max-min fair allocation, including fairness properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim.maxmin import max_min_fair_rates
+
+
+class TestMaxMinBasics:
+    def test_single_flow_gets_capacity(self):
+        rates = max_min_fair_rates([["l1"]], {"l1": 10.0})
+        assert rates == [10.0]
+
+    def test_equal_split_on_shared_link(self):
+        rates = max_min_fair_rates([["l1"], ["l1"], ["l1"]], {"l1": 9.0})
+        assert rates == [3.0, 3.0, 3.0]
+
+    def test_classic_three_flow_example(self):
+        """Two links: A crosses both, B on link1, C on link2, caps 1.
+        Max-min: A=B=C=0.5 only if both links bind equally; with caps
+        (1, 2): link1 fair share 0.5 freezes A and B; C then gets 1.5."""
+        flows = [["l1", "l2"], ["l1"], ["l2"]]
+        rates = max_min_fair_rates(flows, {"l1": 1.0, "l2": 2.0})
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(1.5)
+
+    def test_empty_path_unconstrained(self):
+        rates = max_min_fair_rates([[], ["l1"]], {"l1": 5.0})
+        assert rates[0] == float("inf")
+        assert rates[1] == 5.0
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_fair_rates([["ghost"]], {"l1": 1.0})
+
+    def test_no_flows(self):
+        assert max_min_fair_rates([], {"l1": 1.0}) == []
+
+
+@st.composite
+def _random_instance(draw):
+    num_links = draw(st.integers(1, 6))
+    capacities = {
+        f"l{i}": draw(st.floats(min_value=0.5, max_value=100.0)) for i in range(num_links)
+    }
+    num_flows = draw(st.integers(1, 10))
+    flows = []
+    for _ in range(num_flows):
+        k = draw(st.integers(1, num_links))
+        flows.append([f"l{i}" for i in draw(
+            st.lists(st.integers(0, num_links - 1), min_size=1, max_size=k, unique=True)
+        )])
+    return flows, capacities
+
+
+class TestMaxMinProperties:
+    @given(_random_instance())
+    @settings(max_examples=100)
+    def test_feasibility(self, instance):
+        """No link is oversubscribed."""
+        flows, capacities = instance
+        rates = max_min_fair_rates(flows, capacities)
+        usage = {link: 0.0 for link in capacities}
+        for links, rate in zip(flows, rates):
+            for link in links:
+                usage[link] += rate
+        for link, used in usage.items():
+            assert used <= capacities[link] * (1 + 1e-9)
+
+    @given(_random_instance())
+    @settings(max_examples=100)
+    def test_bottleneck_saturation(self, instance):
+        """Every flow has at least one saturated link (Pareto
+        efficiency of max-min allocations)."""
+        flows, capacities = instance
+        rates = max_min_fair_rates(flows, capacities)
+        usage = {link: 0.0 for link in capacities}
+        for links, rate in zip(flows, rates):
+            for link in links:
+                usage[link] += rate
+        for links, rate in zip(flows, rates):
+            saturated = any(
+                usage[link] >= capacities[link] * (1 - 1e-9) for link in links
+            )
+            assert saturated, "a flow could be sped up without hurting anyone"
+
+    @given(_random_instance())
+    @settings(max_examples=100)
+    def test_rates_positive(self, instance):
+        flows, capacities = instance
+        rates = max_min_fair_rates(flows, capacities)
+        assert all(rate > 0 for rate in rates)
+
+    @given(_random_instance())
+    @settings(max_examples=50)
+    def test_symmetry(self, instance):
+        """Flows with identical paths get identical rates."""
+        flows, capacities = instance
+        flows = flows + [flows[0]]  # duplicate the first flow's path
+        rates = max_min_fair_rates(flows, capacities)
+        assert rates[0] == pytest.approx(rates[-1])

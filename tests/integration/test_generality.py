@@ -1,0 +1,149 @@
+"""Generality of the approximation machinery (paper Section 7).
+
+Three axes the paper calls out:
+
+* other *protocols* — the pipeline end-to-end under DCTCP;
+* other *network structures* — approximating leaf-spine racks;
+* symmetry — any cluster can be the full-fidelity one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridConfig, HybridSimulation
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    run_full_simulation,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.region import Region
+from repro.core.features import RegionFeatureExtractor
+from repro.core.training import RegionTraceCollector, train_cluster_model
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.net.tcp.config import TcpConfig
+from repro.topology.clos import ClosParams
+from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
+from repro.topology.routing import EcmpRouting
+from repro.traffic.apps import TrafficGenerator
+from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.traffic.distributions import web_search_sizes
+from repro.traffic.matrix import UniformMatrix
+
+FAST_MICRO = MicroModelConfig(hidden_size=16, num_layers=1, window=8, train_batches=40)
+
+
+class TestDctcpPipeline:
+    """The whole Figure 3 workflow with DCTCP as the transport."""
+
+    def test_train_and_hybrid_under_dctcp(self):
+        net_config = NetworkConfig(
+            tcp=TcpConfig(dctcp=True), ecn_threshold_bytes=65_000
+        )
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.3, duration_s=0.006,
+            seed=111, net=net_config,
+        )
+        trained, full_output = train_reusable_model(config, micro=FAST_MICRO)
+        assert len(full_output.records) > 100
+        result, hybrid = run_hybrid_simulation(config, trained)
+        assert result.model_packets > 0
+        assert result.flows_completed > 0
+        # ECN marking actually happened somewhere in the full run.
+        marked = [
+            r for r in full_output.records if r.packet.ecn_capable
+        ]
+        assert marked, "DCTCP run produced no ECN-capable crossings"
+
+
+class TestLeafSpineRackApproximation:
+    """Region machinery on a non-Clos structure: approximate one
+    leaf-spine rack (its ToR), spines stay full fidelity."""
+
+    @pytest.fixture(scope="class")
+    def leafspine_world(self):
+        topo = build_leaf_spine(LeafSpineParams(tors=3, spines=2, servers_per_tor=4))
+        sizes = web_search_sizes()
+        rate = arrival_rate_for_load(0.3, len(topo.servers()), 10e9, sizes.mean())
+
+        def build(sim, excluded=frozenset(), overrides=None):
+            net = Network(
+                sim, topo, NetworkConfig(),
+                routing=EcmpRouting(topo),
+                excluded_nodes=excluded,
+                receiver_overrides=overrides or {},
+            )
+            gen = TrafficGenerator(
+                sim, net, matrix=UniformMatrix(topo), sizes=sizes,
+                arrivals=PoissonArrivals(rate),
+            )
+            return net, gen
+
+        return topo, build
+
+    def test_region_construction(self, leafspine_world):
+        topo, _ = leafspine_world
+        region = Region.cluster(topo, 1)  # rack 1: its ToR
+        assert region.switches == frozenset({"tor-1"})
+        assert len(region.shadow_servers) == 4
+
+    def test_train_and_substitute_rack(self, leafspine_world):
+        topo, build = leafspine_world
+        region = Region.cluster(topo, 1)
+
+        # Stage 1: full-fidelity trace of the rack boundary.
+        sim = Simulator(seed=112)
+        net, gen = build(sim)
+        collector = RegionTraceCollector(net, region)
+        gen.start()
+        sim.run(until=0.01)
+        records = collector.finalize()
+        assert len(records) > 100
+
+        # Stage 2: train.
+        extractor = RegionFeatureExtractor(topo, net.routing, region)
+        trained = train_cluster_model(records, extractor, config=FAST_MICRO)
+
+        # Stage 3: substitute the ToR with the model.
+        from repro.core.cluster_model import ApproximatedCluster
+
+        sim2 = Simulator(seed=112)
+        model_holder = {}
+
+        def resolve(name):
+            return model_holder["net"].hosts.get(name) or model_holder["net"].switches[name]
+
+        model = ApproximatedCluster(
+            sim=sim2, topology=topo, routing=EcmpRouting(topo), region=region,
+            trained=trained, resolve_entity=resolve,
+            rng=sim2.rng.stream("rack-model"),
+        )
+        net2, gen2 = build(
+            sim2, excluded=frozenset({"tor-1"}), overrides={"tor-1": model}
+        )
+        model_holder["net"] = net2
+        gen2.start()
+        sim2.run(until=0.005)
+        assert model.packets_handled > 0
+        assert gen2.flows_completed > 0
+
+
+class TestFullClusterSymmetry:
+    def test_any_cluster_can_be_full_fidelity(self):
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=3), load=0.25, duration_s=0.004, seed=113
+        )
+        train_config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.005, seed=114
+        )
+        trained, _ = train_reusable_model(train_config, micro=FAST_MICRO)
+        for full_cluster in (0, 2):
+            result, hybrid = run_hybrid_simulation(
+                config, trained, hybrid=HybridConfig(full_cluster=full_cluster)
+            )
+            assert hybrid.full_cluster == full_cluster
+            assert full_cluster not in hybrid.models
+            assert len(result.rtt_samples) > 0

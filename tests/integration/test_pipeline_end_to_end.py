@@ -1,0 +1,98 @@
+"""The Figure 3 workflow as one integration test: simulate small ->
+train -> substitute into a larger topology -> compare distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ks_distance
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    run_full_simulation,
+    run_hybrid_simulation,
+    train_reusable_model,
+)
+from repro.core.training import TrainedClusterModel
+from repro.topology.clos import ClosParams
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts(tmp_path_factory):
+    """Train once (module scope) with a mid-size budget."""
+    config = ExperimentConfig(
+        clos=ClosParams(clusters=2), load=0.25, duration_s=0.01, seed=41
+    )
+    micro = MicroModelConfig(
+        hidden_size=32, num_layers=1, window=16, train_batches=150,
+        learning_rate=3e-3,
+    )
+    trained, full_output = train_reusable_model(config, micro=micro)
+    directory = tmp_path_factory.mktemp("bundle")
+    trained.save(directory)
+    return config, trained, full_output, directory
+
+
+class TestWorkflow:
+    def test_training_learned_something(self, pipeline_artifacts):
+        _, trained, _, _ = pipeline_artifacts
+        summary = trained.training_summary
+        assert summary["ingress_final_loss"] < summary["ingress_initial_loss"]
+
+    def test_reload_and_reuse_across_sizes(self, pipeline_artifacts):
+        """The trained bundle (from a 2-cluster sim) drives a 4-cluster
+        hybrid — the reuse the paper's Figure 3 promises."""
+        config, _, _, directory = pipeline_artifacts
+        loaded = TrainedClusterModel.load(directory)
+        big = ExperimentConfig(
+            clos=ClosParams(clusters=4), load=config.load, duration_s=0.004,
+            seed=42,
+        )
+        result, hybrid = run_hybrid_simulation(big, loaded)
+        assert len(hybrid.models) == 3
+        assert result.model_packets > 0
+        assert result.flows_completed > 0
+
+    def test_rtt_distributions_compare(self, pipeline_artifacts):
+        """Figure 4's comparison is meaningful: both simulations
+        produce enough RTT samples and the KS distance is < 1 (the
+        distributions overlap substantially)."""
+        config, trained, full_output, _ = pipeline_artifacts
+        hybrid_result, _ = run_hybrid_simulation(config, trained)
+        ground_truth = full_output.result.rtt_samples
+        approx = hybrid_result.rtt_samples
+        assert len(ground_truth) > 20 and len(approx) > 20
+        distance = ks_distance(ground_truth, approx)
+        assert distance < 0.95
+        # Same ballpark: medians within two orders of magnitude.
+        ratio = np.median(approx) / np.median(ground_truth)
+        assert 0.01 < ratio < 100
+
+    def test_model_drop_rate_plausible(self, pipeline_artifacts):
+        """A trained drop head should not drop wildly more than the
+        region's ground-truth drop fraction."""
+        config, trained, full_output, _ = pipeline_artifacts
+        hybrid_result, hybrid = run_hybrid_simulation(config, trained)
+        handled = hybrid.model_packets_handled()
+        dropped = hybrid.model_drops()
+        assert handled > 0
+        ground_truth_rate = float(
+            trained.training_summary.get("ingress_drop_fraction", 0.0)
+        )
+        assert dropped / handled < max(10 * ground_truth_rate, 0.2)
+
+    def test_hybrid_speedup_positive_at_scale(self, pipeline_artifacts):
+        """At 8 clusters the hybrid must beat the full simulation on
+        wall-clock — the headline claim (Figure 5).  (At 2-4 clusters
+        the numpy LSTM's per-packet cost can eat the fabric savings;
+        the paper's claim is that speedup *grows with cluster count*.)"""
+        config, trained, _, _ = pipeline_artifacts
+        big = ExperimentConfig(
+            clos=ClosParams(clusters=8), load=config.load, duration_s=0.004,
+            seed=43,
+        )
+        full = run_full_simulation(big).result
+        hybrid_result, _ = run_hybrid_simulation(big, trained)
+        speedup = full.wallclock_seconds / hybrid_result.wallclock_seconds
+        assert speedup > 1.0

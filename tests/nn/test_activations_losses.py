@@ -1,0 +1,151 @@
+"""Tests for activations and loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import relu, relu_grad, sigmoid, sigmoid_grad, tanh_grad
+from repro.nn.losses import BCEWithLogitsLoss, JointDropLatencyLoss, MSELoss
+
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extreme_values_no_overflow(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    @given(finite_arrays)
+    def test_range_and_monotonicity(self, x):
+        y = sigmoid(x)
+        assert np.all((y >= 0) & (y <= 1))
+        flat = np.sort(x.ravel())
+        assert np.all(np.diff(sigmoid(flat)) >= -1e-15)
+
+    def test_grad_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        analytic = sigmoid_grad(sigmoid(x))
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-6)
+
+
+class TestTanhRelu:
+    def test_tanh_grad_matches_numeric(self):
+        x = np.linspace(-2, 2, 9)
+        eps = 1e-6
+        numeric = (np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(tanh_grad(np.tanh(x)), numeric, rtol=1e-6)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu_grad(x), [0.0, 0.0, 1.0])
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.5)
+
+    def test_gradient_numeric(self):
+        loss = MSELoss()
+        pred = np.array([0.5, -1.0, 2.0])
+        target = np.array([0.0, 0.0, 1.0])
+        loss.forward(pred, target)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            plus, minus = pred.copy(), pred.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (loss.forward(plus, target) - loss.forward(minus, target)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-5)
+
+    def test_mask_excludes_elements(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 100.0])
+        target = np.array([0.0, 0.0])
+        mask = np.array([1.0, 0.0])
+        assert loss.forward(pred, target, mask=mask) == pytest.approx(1.0)
+        grad = loss.backward()
+        assert grad[1] == 0.0
+
+    def test_all_masked_no_nan(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([1.0]), np.array([0.0]), mask=np.array([0.0]))
+        assert value == 0.0
+
+
+class TestBCEWithLogits:
+    def test_known_value(self):
+        loss = BCEWithLogitsLoss()
+        # logit 0 -> p=0.5 -> loss ln 2 regardless of label
+        assert loss.forward(np.zeros(4), np.array([0, 1, 0, 1.0])) == pytest.approx(np.log(2))
+
+    def test_extreme_logits_finite(self):
+        loss = BCEWithLogitsLoss()
+        value = loss.forward(np.array([1e4, -1e4]), np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_gradient_numeric(self):
+        loss = BCEWithLogitsLoss()
+        logits = np.array([0.3, -0.7, 1.5])
+        target = np.array([1.0, 0.0, 1.0])
+        loss.forward(logits, target)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            plus, minus = logits.copy(), logits.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (loss.forward(plus, target) - loss.forward(minus, target)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-5)
+
+
+class TestJointLoss:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            JointDropLatencyLoss(alpha=0.0)
+        with pytest.raises(ValueError):
+            JointDropLatencyLoss(alpha=1.5)
+
+    def test_combination(self):
+        joint = JointDropLatencyLoss(alpha=0.5)
+        logits = np.zeros(2)
+        latency = np.array([1.0, 1.0])
+        drop_target = np.zeros(2)
+        latency_target = np.zeros(2)
+        parts = joint.forward(logits, latency, drop_target, latency_target)
+        assert parts.drop == pytest.approx(np.log(2))
+        assert parts.latency == pytest.approx(1.0)
+        assert parts.total == pytest.approx(np.log(2) + 0.5)
+
+    def test_dropped_packets_mask_latency(self):
+        """Paper rule: 'if there is a packet drop then no latency error
+        can be back-propagated.'"""
+        joint = JointDropLatencyLoss(alpha=1.0)
+        logits = np.zeros(2)
+        latency = np.array([5.0, 999.0])  # second packet was dropped
+        drop_target = np.array([0.0, 1.0])
+        latency_target = np.zeros(2)
+        parts = joint.forward(logits, latency, drop_target, latency_target)
+        assert parts.latency == pytest.approx(25.0)  # only survivor counted
+        _, grad_latency = joint.backward()
+        assert grad_latency[1] == 0.0
+        assert grad_latency[0] != 0.0

@@ -1,0 +1,230 @@
+"""Tests for optimizers, data utilities, and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import BatchIterator, Standardizer, make_sequences
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, clip_gradients
+from repro.nn.serialize import load_module_state, save_module_state
+
+
+class _Quadratic(Module):
+    """f(w) = ||w - target||^2 — a convex test problem."""
+
+    def __init__(self, target: np.ndarray) -> None:
+        self.w = Parameter(np.zeros_like(target), name="w")
+        self.target = target
+
+    def loss_and_grad(self) -> float:
+        diff = self.w.value - self.target
+        self.w.grad[...] = 2.0 * diff
+        return float((diff**2).sum())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        model = _Quadratic(target)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        for _ in range(200):
+            model.zero_grad()
+            model.loss_and_grad()
+            opt.step()
+        np.testing.assert_allclose(model.w.value, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([10.0])
+        plain = _Quadratic(target)
+        momentum = _Quadratic(target)
+        opt_plain = SGD(plain.parameters(), lr=0.01, momentum=0.0)
+        opt_momentum = SGD(momentum.parameters(), lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for model, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                model.zero_grad()
+                model.loss_and_grad()
+                opt.step()
+        assert abs(momentum.w.value[0] - 10.0) < abs(plain.w.value[0] - 10.0)
+
+    def test_validation(self):
+        p = [Parameter(np.zeros(2))]
+        with pytest.raises(ValueError):
+            SGD(p, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(p, lr=0.1, momentum=1.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.step()  # grad is zero; only decay acts
+        assert param.value[0] < 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0])
+        model = _Quadratic(target)
+        opt = Adam(model.parameters(), lr=0.1)
+        for _ in range(300):
+            model.zero_grad()
+            model.loss_and_grad()
+            opt.step()
+        np.testing.assert_allclose(model.w.value, target, atol=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestClipGradients:
+    def test_noop_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad[...] = [1.0, 0.0, 0.0]
+        norm = clip_gradients([p], max_norm=10.0)
+        assert norm == pytest.approx(1.0)
+        np.testing.assert_array_equal(p.grad, [1.0, 0.0, 0.0])
+
+    def test_scales_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [3.0, 4.0]
+        clip_gradients([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+
+class TestStandardizer:
+    @given(
+        st.integers(2, 50),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_roundtrip(self, n, f, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, f)) * 10 + 5
+        s = Standardizer().fit(x)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(x)), x, rtol=1e-9)
+
+    def test_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1000, 3)) * 4 + 7
+        z = Standardizer().fit(x).transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_untouched(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        z = Standardizer().fit(x).transform(x)
+        np.testing.assert_array_equal(z[:, 0], np.zeros(10))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+    def test_state_dict_roundtrip(self):
+        x = np.random.default_rng(1).standard_normal((20, 3))
+        s = Standardizer().fit(x)
+        restored = Standardizer.from_state_dict(s.state_dict())
+        np.testing.assert_array_equal(restored.transform(x), s.transform(x))
+
+
+class TestMakeSequences:
+    def test_shapes_and_remainder(self):
+        features = np.arange(20).reshape(10, 2).astype(float)
+        targets = np.arange(10).reshape(10, 1).astype(float)
+        x, y = make_sequences(features, targets, window=3)
+        assert x.shape == (3, 3, 2)
+        assert y.shape == (3, 3, 1)
+        # Remainder (10th sample) discarded.
+        np.testing.assert_array_equal(x[0, 0], features[0])
+        np.testing.assert_array_equal(x[-1, -1], features[8])
+
+    def test_too_short_gives_empty(self):
+        x, y = make_sequences(np.zeros((2, 3)), np.zeros((2, 1)), window=5)
+        assert x.shape == (0, 5, 3)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            make_sequences(np.zeros((3, 1)), np.zeros((4, 1)), window=2)
+
+
+class TestBatchIterator:
+    def test_covers_all_windows(self):
+        x = np.arange(14).reshape(7, 1, 2).repeat(2, axis=1).astype(float)
+        y = np.zeros((7, 1, 1))
+        it = BatchIterator(x, y, batch_size=3, rng=np.random.default_rng(0))
+        seen = 0
+        for xb, yb in it:
+            assert xb.shape[0] == 2  # time-major (window length T=2)
+            seen += xb.shape[1]
+        assert seen == 7
+        assert len(it) == 3
+
+    def test_drop_last(self):
+        x = np.zeros((7, 2, 3))
+        y = np.zeros((7, 2, 1))
+        it = BatchIterator(x, y, batch_size=3, rng=np.random.default_rng(0), drop_last=True)
+        batches = list(it)
+        assert len(batches) == 2
+        assert len(it) == 2
+
+    def test_reproducible_with_same_rng_seed(self):
+        x = np.arange(10).reshape(10, 1, 1).astype(float)
+        y = x.copy()
+        order1 = [xb[0, :, 0].tolist() for xb, _ in BatchIterator(x, y, 4, np.random.default_rng(7))]
+        order2 = [xb[0, :, 0].tolist() for xb, _ in BatchIterator(x, y, 4, np.random.default_rng(7))]
+        assert order1 == order2
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, rng):
+        lstm = LSTM(3, 4, 2, rng)
+        path = tmp_path / "model.npz"
+        save_module_state(lstm, path, metadata={"note": np.asarray(1.5)})
+        clone = LSTM(3, 4, 2, np.random.default_rng(999))
+        meta = load_module_state(clone, path)
+        for (_, a), (_, b) in zip(lstm.named_parameters(), clone.named_parameters()):
+            np.testing.assert_array_equal(a.value, b.value)
+        assert float(meta["note"]) == 1.5
+
+    def test_shape_mismatch_raises(self, tmp_path, rng):
+        small = Linear(2, 2, rng)
+        save_module_state(small, tmp_path / "m.npz")
+        big = Linear(3, 2, rng)
+        # Parameter names coincide ('weight'/'bias') but shapes differ.
+        with pytest.raises(ValueError):
+            load_module_state(big, tmp_path / "m.npz")
+
+    def test_missing_parameter_raises(self, tmp_path, rng):
+        layer = Linear(2, 2, rng)
+        save_module_state(layer, tmp_path / "m.npz")
+        lstm = LSTM(2, 2, 1, rng)
+        with pytest.raises(KeyError):
+            load_module_state(lstm, tmp_path / "m.npz")
+
+
+class TestModuleContainers:
+    def test_named_parameters_cover_nested(self, rng):
+        lstm = LSTM(2, 3, 2, rng)
+        names = [name for name, _ in lstm.named_parameters()]
+        assert len(names) == 6  # 2 layers x (w_input, w_recurrent, bias)
+        assert len(set(names)) == 6
+        assert any("layers.0" in n for n in names)
+
+    def test_parameter_count(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.parameter_count() == 4 * 3 + 3
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 2, rng)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        assert np.any(layer.weight.grad != 0)
+        layer.zero_grad()
+        assert np.all(layer.weight.grad == 0)

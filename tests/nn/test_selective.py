@@ -1,0 +1,174 @@
+"""Tests for SelectiveLinear and the per-macro micro model variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.micro import MicroModel, MicroModelConfig
+from repro.nn.gradcheck import check_module_gradients, max_relative_error, numerical_gradient
+from repro.nn.losses import JointDropLatencyLoss
+from repro.nn.selective import SelectiveLinear
+
+TOLERANCE = 1e-5
+
+
+def test_forward_routes_by_index(rng):
+    layer = SelectiveLinear(3, 4, rng)
+    x = rng.standard_normal((5, 3))
+    index = np.array([0, 1, 2, 3, 0])
+    out = layer.forward(x, index)
+    for i in range(5):
+        expected = x[i] @ layer.weight.value[index[i]] + layer.bias.value[index[i]]
+        assert out[i] == pytest.approx(expected)
+
+
+def test_gradients_match_numeric(rng):
+    layer = SelectiveLinear(3, 4, rng)
+    x = rng.standard_normal((2, 5, 3))  # (T, B, F)
+    index = rng.integers(0, 4, size=(2, 5))
+    target = rng.standard_normal((2, 5))
+
+    def loss_fn() -> float:
+        return float(((layer.forward(x, index) - target) ** 2).sum())
+
+    def backward_fn() -> None:
+        out = layer.forward(x, index)
+        layer.backward(2.0 * (out - target))
+
+    worst = check_module_gradients(layer, loss_fn, backward_fn, eps=1e-5)
+    assert worst < TOLERANCE
+
+
+def test_input_gradient(rng):
+    layer = SelectiveLinear(4, 3, rng)
+    x = rng.standard_normal((6, 4))
+    index = rng.integers(0, 3, size=6)
+    target = rng.standard_normal(6)
+    out = layer.forward(x, index)
+    grad_x = layer.backward(2.0 * (out - target))
+
+    def loss_fn() -> float:
+        return float(((layer.forward(x, index) - target) ** 2).sum())
+
+    numeric = numerical_gradient(loss_fn, x, eps=1e-5)
+    assert max_relative_error(grad_x, numeric) < TOLERANCE
+
+
+def test_unused_heads_get_zero_gradient(rng):
+    layer = SelectiveLinear(2, 4, rng)
+    x = rng.standard_normal((3, 2))
+    index = np.zeros(3, dtype=int)  # only head 0 used
+    layer.zero_grad()
+    out = layer.forward(x, index)
+    layer.backward(np.ones(3))
+    assert np.any(layer.weight.grad[0] != 0)
+    assert np.all(layer.weight.grad[1:] == 0)
+    assert np.all(layer.bias.grad[1:] == 0)
+
+
+def test_validation(rng):
+    layer = SelectiveLinear(2, 2, rng)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((3, 2)), np.array([0, 1, 2]))  # index out of range
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((3, 2)), np.array([0, 1]))  # shape mismatch
+    with pytest.raises(RuntimeError):
+        SelectiveLinear(2, 2, rng).backward(np.zeros(3))
+    with pytest.raises(ValueError):
+        SelectiveLinear(2, 0, rng)
+
+
+def test_forward_single_matches_batched(rng):
+    layer = SelectiveLinear(5, 4, rng)
+    x = rng.standard_normal(5)
+    for head in range(4):
+        single = layer.forward_single(x, head)
+        batched = layer.forward(x.reshape(1, 5), np.array([head]))[0]
+        assert single == pytest.approx(batched)
+
+
+class TestPerMacroMicroModel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MicroModelConfig(heads="mixture")
+
+    def test_forward_requires_macro_index(self, rng):
+        config = MicroModelConfig(input_size=4, hidden_size=6, num_layers=1,
+                                  heads="per_macro")
+        model = MicroModel(config, rng)
+        with pytest.raises(ValueError):
+            model.forward(rng.standard_normal((2, 3, 4)))
+
+    def test_joint_gradients(self, rng):
+        config = MicroModelConfig(input_size=4, hidden_size=3, num_layers=1,
+                                  heads="per_macro", alpha=0.6)
+        model = MicroModel(config, rng)
+        x = rng.standard_normal((3, 2, 4))
+        macro = rng.integers(0, 4, size=(3, 2))
+        drop_target = (rng.random((3, 2)) < 0.3).astype(float)
+        latency_target = rng.standard_normal((3, 2))
+        loss = JointDropLatencyLoss(alpha=config.alpha)
+
+        def loss_fn() -> float:
+            d, l = model.forward(x, macro_index=macro)
+            return loss.forward(d, l, drop_target, latency_target).total
+
+        def backward_fn() -> None:
+            d, l = model.forward(x, macro_index=macro)
+            loss.forward(d, l, drop_target, latency_target)
+            gd, gl = loss.backward()
+            model.backward(gd, gl)
+
+        worst = check_module_gradients(model, loss_fn, backward_fn, eps=1e-5)
+        assert worst < TOLERANCE
+
+    def test_predict_step_uses_selected_head(self, rng):
+        config = MicroModelConfig(input_size=4, hidden_size=6, num_layers=1,
+                                  heads="per_macro")
+        model = MicroModel(config, rng)
+        features = rng.standard_normal(4)
+        outputs = set()
+        for head in range(4):
+            state = model.initial_state()
+            p, latency, _ = model.predict_step(features, state, macro_index=head)
+            outputs.add((round(p, 12), round(latency, 12)))
+        assert len(outputs) == 4  # different heads, different predictions
+
+    def test_end_to_end_training_pipeline(self):
+        """Full stage 1-3 with per-macro heads (small budget)."""
+        from repro.core.pipeline import (
+            ExperimentConfig, run_hybrid_simulation, train_reusable_model,
+        )
+        from repro.topology.clos import ClosParams
+
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.005, seed=121
+        )
+        micro = MicroModelConfig(
+            hidden_size=12, num_layers=1, window=8, train_batches=15,
+            heads="per_macro",
+        )
+        trained, _ = train_reusable_model(config, micro=micro)
+        assert trained.config.heads == "per_macro"
+        result, _ = run_hybrid_simulation(config, trained)
+        assert result.model_packets > 0
+
+    def test_bundle_roundtrip_preserves_heads(self, tmp_path):
+        from repro.core.pipeline import ExperimentConfig, train_reusable_model
+        from repro.core.training import TrainedClusterModel
+        from repro.topology.clos import ClosParams
+
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=122
+        )
+        micro = MicroModelConfig(
+            hidden_size=8, num_layers=1, window=8, train_batches=5,
+            heads="per_macro",
+        )
+        trained, _ = train_reusable_model(config, micro=micro)
+        trained.save(tmp_path / "pm")
+        loaded = TrainedClusterModel.load(tmp_path / "pm")
+        assert loaded.config.heads == "per_macro"
+        bundle = next(iter(loaded.directions.values()))
+        assert bundle.model.drop_head.num_heads == 4

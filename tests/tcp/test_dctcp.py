@@ -1,0 +1,93 @@
+"""Behavioural tests for DCTCP congestion control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.net.network import Network, NetworkConfig
+from repro.net.tcp.config import TcpConfig
+
+from tests.tcp.harness import two_host_topology
+
+
+def _run_pair(tcp: TcpConfig, size: int = 3_000_000, ecn_threshold: int | None = 30_000):
+    """One flow over a 100 Mbps bottleneck with deep buffers."""
+    sim = Simulator(seed=1)
+    topo = two_host_topology(rate_bps=1e8, delay_s=1e-5)
+    net = Network(
+        sim,
+        topo,
+        config=NetworkConfig(
+            tcp=tcp,
+            queue_capacity_bytes=10_000_000,
+            ecn_threshold_bytes=ecn_threshold,
+        ),
+    )
+    fcts = []
+    sender = net.host("a").open_flow(net.host("b"), size, on_complete=fcts.append)
+    sender.start()
+
+    max_queue = 0
+
+    def sample_queue():
+        nonlocal max_queue
+        # With uniform link rates the standing queue forms at the
+        # sender's NIC (the first port the flow saturates).
+        port = net.port("a", "sw")
+        max_queue = max(max_queue, port.queued_bytes)
+        if not sender.completed:
+            sim.schedule(1e-4, sample_queue)
+
+    sim.schedule(1e-4, sample_queue)
+    sim.run(until=60.0)
+    return sender, net, fcts, max_queue
+
+
+class TestDctcp:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TcpConfig(dctcp=True, dctcp_g=0.0)
+        assert TcpConfig(dctcp=True).ecn_enabled
+        assert TcpConfig(ecn=True).ecn_enabled
+        assert not TcpConfig().ecn_enabled
+
+    def test_flow_completes_with_no_drops(self):
+        sender, net, fcts, _ = _run_pair(TcpConfig(dctcp=True))
+        assert sender.completed
+        assert net.total_drops == 0
+        assert len(fcts) == 1
+
+    def test_alpha_converges_positive(self):
+        """Sustained marking must drive alpha above zero (and below 1)."""
+        sender, _, _, _ = _run_pair(TcpConfig(dctcp=True))
+        assert 0.0 < sender.dctcp_alpha <= 1.0
+
+    def test_queue_shorter_than_reno(self):
+        """DCTCP's raison d'etre: it holds the bottleneck queue near
+        the marking threshold while loss-based Reno fills the buffer."""
+        _, _, _, dctcp_queue = _run_pair(TcpConfig(dctcp=True))
+        _, _, _, reno_queue = _run_pair(TcpConfig(), ecn_threshold=None)
+        assert dctcp_queue < reno_queue / 3
+
+    def test_throughput_close_to_line_rate(self):
+        size = 3_000_000
+        sender, _, fcts, _ = _run_pair(TcpConfig(dctcp=True), size=size)
+        goodput = size * 8 / fcts[0]
+        assert goodput == pytest.approx(1e8, rel=0.2)
+
+    def test_gentler_than_classic_ecn(self):
+        """Classic ECN halves cwnd per marked window; DCTCP scales by
+        alpha/2, so under light marking DCTCP keeps a larger window and
+        finishes no slower."""
+        size = 3_000_000
+        _, _, dctcp_fcts, _ = _run_pair(TcpConfig(dctcp=True), size=size)
+        _, _, ecn_fcts, _ = _run_pair(TcpConfig(ecn=True), size=size)
+        assert dctcp_fcts[0] <= ecn_fcts[0] * 1.1
+
+    def test_dctcp_mode_bypasses_classic_halving(self):
+        """In DCTCP mode the classic one-shot halving must not fire;
+        the reduction path is the per-window alpha scaling."""
+        sender, _, _, _ = _run_pair(TcpConfig(dctcp=True))
+        # Classic handling would have left _ecn_recover advanced.
+        assert sender._ecn_recover == 0

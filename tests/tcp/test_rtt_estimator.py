@@ -1,0 +1,73 @@
+"""Tests for the Jacobson/Karels RTT estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.tcp.rtt import RttEstimator
+
+
+def _estimator(min_rto=0.01, max_rto=5.0, initial=0.1) -> RttEstimator:
+    return RttEstimator(min_rto_s=min_rto, max_rto_s=max_rto, initial_rto_s=initial)
+
+
+class TestRttEstimator:
+    def test_initial_rto_before_samples(self):
+        est = _estimator(initial=0.25)
+        assert est.rto_s == 0.25
+
+    def test_first_sample_initializes(self):
+        est = _estimator()
+        est.observe(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto_s == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_converges_to_constant_rtt(self):
+        est = _estimator()
+        for _ in range(200):
+            est.observe(0.02)
+        assert est.srtt == pytest.approx(0.02, rel=1e-6)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+        assert est.rto_s == pytest.approx(0.02, abs=1e-3)
+
+    def test_min_rto_clamp(self):
+        est = _estimator(min_rto=0.2)
+        for _ in range(100):
+            est.observe(0.001)
+        assert est.rto_s == 0.2
+
+    def test_max_rto_clamp(self):
+        est = _estimator(max_rto=1.0)
+        est.observe(0.9)
+        for _ in range(10):
+            est.backoff()
+        assert est.rto_s == 1.0
+
+    def test_backoff_doubles(self):
+        est = _estimator()
+        est.observe(0.1)
+        base = est.rto_s
+        est.backoff()
+        assert est.rto_s == pytest.approx(min(base * 2, 5.0))
+        est.backoff()
+        assert est.rto_s == pytest.approx(min(base * 4, 5.0))
+
+    def test_sample_resets_backoff(self):
+        est = _estimator()
+        est.observe(0.1)
+        base = est.rto_s
+        est.backoff()
+        est.observe(0.1)
+        assert est.rto_s == pytest.approx(base, rel=0.2)
+
+    def test_variance_reacts_to_jitter(self):
+        est = _estimator()
+        for i in range(100):
+            est.observe(0.02 if i % 2 == 0 else 0.04)
+        assert est.rttvar > 0.005
+
+    def test_negative_sample_rejected(self):
+        est = _estimator()
+        with pytest.raises(ValueError):
+            est.observe(-0.1)

@@ -1,0 +1,129 @@
+"""Tests for the k-ary fat-tree builder and its pipeline compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.region import Region
+from repro.topology.fattree import FatTreeParams, build_fat_tree
+from repro.topology.graph import NodeRole
+from repro.topology.routing import EcmpRouting
+
+
+class TestFatTreeStructure:
+    def test_k4_counts(self):
+        params = FatTreeParams(k=4)
+        topo = build_fat_tree(params)
+        assert len(topo.servers()) == 16  # k^3/4
+        assert len(topo.nodes_with_role(NodeRole.TOR)) == 8  # k * k/2
+        assert len(topo.nodes_with_role(NodeRole.CLUSTER)) == 8
+        assert len(topo.nodes_with_role(NodeRole.CORE)) == 4  # (k/2)^2
+        # Links: 16 server + 16 edge-agg + 16 agg-core.
+        assert topo.link_count == 48
+
+    def test_k6_counts(self):
+        topo = build_fat_tree(FatTreeParams(k=6))
+        assert len(topo.servers()) == 54
+        assert len(topo.nodes_with_role(NodeRole.CORE)) == 9
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            FatTreeParams(k=3)
+        with pytest.raises(ValueError):
+            FatTreeParams(k=0)
+
+    def test_switch_port_counts_are_k(self):
+        """Every switch in a k-ary fat-tree has exactly k links."""
+        k = 4
+        topo = build_fat_tree(FatTreeParams(k=k))
+        for switch in topo.switches():
+            assert len(topo.neighbors(switch.name)) == k
+
+    def test_core_reaches_every_pod(self):
+        topo = build_fat_tree(FatTreeParams(k=4))
+        for core in topo.nodes_with_role(NodeRole.CORE):
+            pods = {topo.node(n).cluster for n in topo.neighbors(core.name)}
+            assert pods == {0, 1, 2, 3}
+
+    def test_pods_are_clusters(self):
+        topo = build_fat_tree(FatTreeParams(k=4))
+        assert topo.cluster_ids() == [0, 1, 2, 3]
+        pod0 = topo.cluster_nodes(0)
+        assert len(pod0) == 4 + 2 + 2  # 4 servers + 2 edge + 2 agg
+
+
+class TestFatTreeRouting:
+    def test_distances(self):
+        topo = build_fat_tree(FatTreeParams(k=4))
+        routing = EcmpRouting(topo)
+        # Same edge switch: 2 hops; same pod: 4; cross pod: 6.
+        assert routing.distance("server-p0-e0-s0", "server-p0-e0-s1") == 2
+        assert routing.distance("server-p0-e0-s0", "server-p0-e1-s0") == 4
+        assert routing.distance("server-p0-e0-s0", "server-p3-e1-s1") == 6
+
+    def test_multipath_diversity(self):
+        """Cross-pod flows should spread over multiple cores."""
+        topo = build_fat_tree(FatTreeParams(k=4))
+        routing = EcmpRouting(topo)
+        cores = {
+            routing.path("server-p0-e0-s0", "server-p1-e0-s0", h)[3]
+            for h in range(64)
+        }
+        assert len(cores) >= 2
+
+
+class TestFatTreePipelineCompatibility:
+    def test_pod_region(self):
+        topo = build_fat_tree(FatTreeParams(k=4))
+        region = Region.cluster(topo, 2)
+        assert len(region.switches) == 4  # 2 edge + 2 agg
+        assert len(region.shadow_servers) == 4
+
+    def test_trace_and_hybrid_on_fat_tree(self):
+        """The full pipeline runs on a fat-tree: collect pod trace,
+        train, substitute the pod."""
+        from repro.core.cluster_model import ApproximatedCluster
+        from repro.core.features import RegionFeatureExtractor
+        from repro.core.micro import MicroModelConfig
+        from repro.core.training import RegionTraceCollector, train_cluster_model
+        from repro.des.kernel import Simulator
+        from repro.net.network import Network, NetworkConfig
+        from repro.traffic.apps import TrafficGenerator
+        from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+        from repro.traffic.distributions import web_search_sizes
+        from repro.traffic.matrix import UniformMatrix
+
+        topo = build_fat_tree(FatTreeParams(k=4))
+        sizes = web_search_sizes()
+        rate = arrival_rate_for_load(0.25, 16, 10e9, sizes.mean())
+
+        sim = Simulator(seed=141)
+        net = Network(sim, topo, NetworkConfig())
+        collector = RegionTraceCollector(net, region=1)
+        gen = TrafficGenerator(
+            sim, net, matrix=UniformMatrix(topo), sizes=sizes,
+            arrivals=PoissonArrivals(rate),
+        )
+        gen.start()
+        sim.run(until=0.008)
+        records = collector.finalize()
+        assert len(records) > 100
+
+        extractor = RegionFeatureExtractor(topo, net.routing, 1)
+        micro = MicroModelConfig(
+            hidden_size=12, num_layers=1, window=8, train_batches=15
+        )
+        trained = train_cluster_model(records, extractor, config=micro)
+
+        from repro.core.hybrid import HybridSimulation
+
+        sim2 = Simulator(seed=141)
+        hybrid = HybridSimulation(sim2, topo, trained)
+        gen2 = TrafficGenerator(
+            sim2, hybrid.network, matrix=UniformMatrix(topo), sizes=sizes,
+            arrivals=PoissonArrivals(rate), flow_filter=hybrid.flow_filter,
+        )
+        gen2.start()
+        sim2.run(until=0.004)
+        assert hybrid.model_packets_handled() > 0
+        assert set(hybrid.models) == {1, 2, 3}

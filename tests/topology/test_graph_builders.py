@@ -1,0 +1,136 @@
+"""Tests for the topology graph model and the Clos/leaf-spine builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.clos import (
+    ClosParams,
+    agg_name,
+    build_clos,
+    core_name,
+    server_name,
+    tor_name,
+)
+from repro.topology.graph import Node, NodeRole, Topology
+from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
+
+
+class TestTopologyGraph:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        with pytest.raises(ValueError):
+            topo.add_node(Node("a", NodeRole.TOR))
+
+    def test_link_requires_known_nodes(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        with pytest.raises(KeyError):
+            topo.add_link("a", "ghost", 1e9, 1e-6)
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        with pytest.raises(ValueError):
+            topo.add_link("a", "a", 1e9, 1e-6)
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        topo.add_node(Node("b", NodeRole.TOR))
+        topo.add_link("a", "b", 1e9, 1e-6)
+        with pytest.raises(ValueError):
+            topo.add_link("b", "a", 1e9, 1e-6)
+
+    def test_link_other_endpoint(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        topo.add_node(Node("b", NodeRole.TOR))
+        link = topo.add_link("a", "b", 1e9, 1e-6)
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(ValueError):
+            link.other("c")
+
+    def test_validate_connected_catches_islands(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeRole.SERVER))
+        topo.add_node(Node("b", NodeRole.SERVER))
+        with pytest.raises(ValueError):
+            topo.validate_connected()
+
+
+class TestClosBuilder:
+    def test_paper_evaluation_shape(self):
+        """Section 6.2: clusters of four switches and eight servers."""
+        params = ClosParams(clusters=2)
+        assert params.switches_per_cluster == 4
+        assert params.servers_per_cluster == 8
+        topo = build_clos(params)
+        assert len(topo.servers()) == 16
+        tors = topo.nodes_with_role(NodeRole.TOR)
+        aggs = topo.nodes_with_role(NodeRole.CLUSTER)
+        cores = topo.nodes_with_role(NodeRole.CORE)
+        assert len(tors) == 4 and len(aggs) == 4 and len(cores) == 2
+
+    def test_wiring(self):
+        topo = build_clos(ClosParams(clusters=2))
+        # Every server has exactly one uplink (its ToR).
+        for server in topo.servers():
+            assert len(topo.neighbors(server.name)) == 1
+        # Every ToR connects to all servers of its rack plus all aggs.
+        neighbors = set(topo.neighbors(tor_name(0, 0)))
+        assert server_name(0, 0, 0) in neighbors
+        assert agg_name(0, 0) in neighbors and agg_name(0, 1) in neighbors
+        assert agg_name(1, 0) not in neighbors  # not to other clusters
+        # Every agg connects to every core.
+        agg_neighbors = set(topo.neighbors(agg_name(1, 1)))
+        assert core_name(0) in agg_neighbors and core_name(1) in agg_neighbors
+
+    def test_cluster_labels(self):
+        topo = build_clos(ClosParams(clusters=3))
+        assert topo.cluster_ids() == [0, 1, 2]
+        for core in topo.nodes_with_role(NodeRole.CORE):
+            assert core.cluster is None
+        cluster1 = topo.cluster_nodes(1)
+        assert all(n.cluster == 1 for n in cluster1)
+        assert len(cluster1) == 8 + 4  # servers + switches
+
+    @pytest.mark.parametrize("clusters", [2, 4, 8])
+    def test_scaling(self, clusters):
+        params = ClosParams(clusters=clusters)
+        topo = build_clos(params)
+        assert len(topo.servers()) == params.total_servers
+        expected_links = clusters * (8 + 2 * 2 + 2 * 2)  # srv + tor-agg + agg-core
+        assert topo.link_count == expected_links
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClosParams(clusters=0)
+        with pytest.raises(ValueError):
+            ClosParams(servers_per_tor=0)
+
+
+class TestLeafSpineBuilder:
+    def test_full_bipartite(self):
+        params = LeafSpineParams(tors=3, spines=2, servers_per_tor=4)
+        topo = build_leaf_spine(params)
+        for tor in topo.nodes_with_role(NodeRole.TOR):
+            spines = [
+                n for n in topo.neighbors(tor.name)
+                if topo.node(n).role is NodeRole.CLUSTER
+            ]
+            assert len(spines) == 2
+        assert len(topo.servers()) == 12
+
+    def test_figure1_sweep_sizes(self):
+        """Figure 1 sweeps ToR/spine counts 4..64, racks of 4."""
+        for size in (4, 8, 16):
+            topo = build_leaf_spine(LeafSpineParams(tors=size, spines=size))
+            assert len(topo.servers()) == 4 * size
+            assert topo.link_count == size * 4 + size * size
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LeafSpineParams(tors=0)

@@ -1,0 +1,134 @@
+"""Tests for ECMP routing tables and topology partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.clos import ClosParams, build_clos, server_name
+from repro.topology.graph import NodeRole
+from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
+from repro.topology.partition import (
+    cross_partition_links,
+    partition_by_cluster,
+    partition_for_workers,
+)
+from repro.topology.routing import EcmpRouting, ecmp_hash
+
+
+class TestEcmpHash:
+    def test_deterministic(self):
+        assert ecmp_hash(1, 2, 3) == ecmp_hash(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert ecmp_hash(1, 2) != ecmp_hash(2, 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_range(self, components):
+        value = ecmp_hash(*components)
+        assert 0 <= value < 2**64
+
+
+class TestEcmpRouting:
+    def test_shortest_path_distances(self, small_clos, small_clos_routing):
+        routing = small_clos_routing
+        # server -> same-rack server: up to ToR and back = 2 hops.
+        assert routing.distance(server_name(0, 0, 0), server_name(0, 0, 1)) == 2
+        # server -> other-rack same-cluster: via agg = 4 hops.
+        assert routing.distance(server_name(0, 0, 0), server_name(0, 1, 0)) == 4
+        # server -> other cluster: via core = 6 hops.
+        assert routing.distance(server_name(0, 0, 0), server_name(1, 0, 0)) == 6
+
+    def test_next_hops_are_equal_cost(self, small_clos, small_clos_routing):
+        src = server_name(0, 0, 0)
+        dst = server_name(1, 0, 0)
+        tor = "tor-c0-0"
+        hops = small_clos_routing.next_hops(tor, dst)
+        assert sorted(hops) == ["agg-c0-0", "agg-c0-1"]
+
+    def test_path_endpoints_and_consistency(self, small_clos, small_clos_routing):
+        src = server_name(0, 1, 2)
+        dst = server_name(1, 0, 3)
+        path = small_clos_routing.path(src, dst, flow_hash=12345)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) == 7  # 6 hops
+        # Same hash -> same path, different hash may differ but same length.
+        assert small_clos_routing.path(src, dst, 12345) == path
+        other = small_clos_routing.path(src, dst, 54321)
+        assert len(other) == len(path)
+
+    def test_all_pairs_reachable(self, small_clos, small_clos_routing):
+        servers = [n.name for n in small_clos.servers()]
+        for src in servers[:4]:
+            for dst in servers[-4:]:
+                if src == dst:
+                    continue
+                path = small_clos_routing.path(src, dst, 7)
+                assert path[0] == src and path[-1] == dst
+
+    def test_route_to_self_is_empty(self, small_clos, small_clos_routing):
+        assert small_clos_routing.next_hops("tor-c0-0", "tor-c0-0") == []
+        with pytest.raises(KeyError):
+            small_clos_routing.next_hop("tor-c0-0", "tor-c0-0", 1)
+
+    def test_unknown_destination_raises(self, small_clos, small_clos_routing):
+        with pytest.raises(KeyError):
+            small_clos_routing.next_hops("tor-c0-0", "no-such-node")
+
+    def test_hash_spreads_over_paths(self, small_clos, small_clos_routing):
+        """Different flows should use different equal-cost paths."""
+        src = server_name(0, 0, 0)
+        dst = server_name(1, 1, 0)
+        first_hops = {
+            small_clos_routing.path(src, dst, h)[2]  # the agg choice
+            for h in range(64)
+        }
+        assert len(first_hops) == 2  # both aggs used
+
+
+class TestPartitioning:
+    def test_partition_by_cluster_excludes_core(self, small_clos):
+        partitions = partition_by_cluster(small_clos)
+        assert set(partitions) == {0, 1}
+        all_names = [n for names in partitions.values() for n in names]
+        assert not any(name.startswith("core") for name in all_names)
+        assert len(partitions[0]) == 12  # 8 servers + 4 switches
+
+    def test_workers_cover_all_nodes(self, small_clos):
+        for workers in (1, 2, 3, 4):
+            parts = partition_for_workers(small_clos, workers)
+            assert len(parts) == workers
+            union = set().union(*parts)
+            assert union == {n.name for n in small_clos.nodes}
+            # Disjoint.
+            assert sum(len(p) for p in parts) == small_clos.node_count
+
+    def test_racks_stay_together(self):
+        topo = build_leaf_spine(LeafSpineParams(tors=4, spines=4))
+        parts = partition_for_workers(topo, 2)
+        for part in parts:
+            for name in part:
+                if topo.node(name).role is NodeRole.SERVER:
+                    tor = next(
+                        n for n in topo.neighbors(name)
+                        if topo.node(n).role is NodeRole.TOR
+                    )
+                    assert tor in part
+
+    def test_cross_partition_links_grow_with_size(self):
+        """The synchronization surface scales ~quadratically in
+        leaf-spine fabrics — the mechanism behind Figure 1."""
+        counts = []
+        for size in (4, 8, 16):
+            topo = build_leaf_spine(LeafSpineParams(tors=size, spines=size))
+            parts = partition_for_workers(topo, 2)
+            counts.append(cross_partition_links(topo, parts))
+        assert counts[0] < counts[1] < counts[2]
+        # Quadratic-ish growth: doubling size much more than doubles cuts.
+        assert counts[2] > 3 * counts[1]
+
+    def test_invalid_worker_count(self, small_clos):
+        with pytest.raises(ValueError):
+            partition_for_workers(small_clos, 0)

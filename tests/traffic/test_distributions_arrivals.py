@@ -1,0 +1,111 @@
+"""Tests for flow-size distributions, arrivals, and load calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.traffic.distributions import (
+    DATA_MINING_CDF,
+    EmpiricalSizeDistribution,
+    UNIFORM_SMALL_CDF,
+    WEB_SEARCH_CDF,
+    web_search_sizes,
+)
+
+
+class TestWebSearchDistribution:
+    def test_cdf_well_formed(self):
+        sizes = [s for s, _ in WEB_SEARCH_CDF]
+        probs = [p for _, p in WEB_SEARCH_CDF]
+        assert probs[0] == 0.0 and probs[-1] == 1.0
+        assert sizes == sorted(sizes)
+        assert probs == sorted(probs)
+
+    def test_heavy_tail_properties(self):
+        """The web-search workload: most flows small, most bytes big."""
+        dist = web_search_sizes()
+        assert dist.quantile(0.5) < 100_000  # median under 100 KB
+        assert dist.quantile(0.99) > 5_000_000  # 99th over 5 MB
+        assert dist.mean() > 10 * dist.quantile(0.5)
+
+    def test_mean_matches_monte_carlo(self):
+        dist = web_search_sizes()
+        rng = np.random.default_rng(0)
+        empirical = dist.sample(rng, 200_000).mean()
+        assert empirical == pytest.approx(dist.mean(), rel=0.02)
+
+    def test_samples_within_support(self):
+        dist = web_search_sizes()
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, 10_000)
+        assert samples.min() >= 1460
+        assert samples.max() <= 20_000 * 1460
+
+    def test_scalar_sample(self):
+        dist = web_search_sizes()
+        value = dist.sample(np.random.default_rng(2))
+        assert isinstance(value, float) and value >= 1.0
+
+    def test_quantile_bounds_validated(self):
+        dist = web_search_sizes()
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    @given(q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_quantile_monotone(self, q):
+        dist = web_search_sizes()
+        assert dist.quantile(q) <= dist.quantile(min(q + 0.05, 1.0))
+
+
+class TestOtherDistributions:
+    def test_data_mining_valid(self):
+        dist = EmpiricalSizeDistribution(DATA_MINING_CDF)
+        assert dist.mean() > 0
+
+    def test_uniform_small(self):
+        dist = EmpiricalSizeDistribution(UNIFORM_SMALL_CDF)
+        assert dist.mean() == pytest.approx((1460 + 14600) / 2)
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalSizeDistribution([(1.0, 0.0)])
+        with pytest.raises(ValueError):
+            EmpiricalSizeDistribution([(1.0, 0.1), (2.0, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalSizeDistribution([(1.0, 0.0), (2.0, 0.5), (3.0, 0.4), (4.0, 1.0)])
+
+
+class TestArrivals:
+    def test_rate_calibration(self):
+        """rate * mean_size * 8 == load * aggregate capacity."""
+        rate = arrival_rate_for_load(0.5, num_servers=10, link_rate_bps=1e9, mean_flow_bytes=1e6)
+        offered_bps = rate * 1e6 * 8
+        assert offered_bps == pytest.approx(0.5 * 10 * 1e9)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0.0, 1, 1e9, 1e6)
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0.5, 1, 1e9, 0.0)
+
+    def test_poisson_mean_gap(self):
+        arrivals = PoissonArrivals(rate_per_s=1000.0)
+        rng = np.random.default_rng(3)
+        gaps = [arrivals.next_gap(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.05)
+
+    def test_arrival_times_bounded(self):
+        arrivals = PoissonArrivals(rate_per_s=500.0)
+        rng = np.random.default_rng(4)
+        times = list(arrivals.arrival_times(rng, until=1.0))
+        assert all(0 < t < 1.0 for t in times)
+        assert len(times) == pytest.approx(500, rel=0.3)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
