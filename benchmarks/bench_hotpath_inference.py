@@ -1,0 +1,195 @@
+"""Hot-path inference: fused engine vs. the reference predict_step.
+
+The hybrid simulator's per-packet cost is the micro model step; this
+benchmark measures exactly that — single-packet inference latency on
+the paper's default 2-layer/128-hidden LSTM — for the reference path
+(``Standardizer.transform`` + ``MicroModel.predict_step``, what every
+packet paid before the fused engine existed) against the compiled
+engine of :mod:`repro.nn.infer` in both precisions.
+
+Results land in two places:
+
+* ``benchmarks/results/hotpath_inference.txt`` — the usual bench table;
+* ``BENCH_hotpath.json`` at the repo root — machine-readable trajectory
+  file tracked in git, so per-PR perf history is diffable.
+
+Methodology: the reference and fused paths run interleaved trials and
+the *minimum* per-packet time across trials is reported — the standard
+noise-floor estimator for microbenchmarks (any deviation upward is
+scheduler/cache interference, not the code under test).  Exactness of
+the float64 engine against the oracle is asserted to <= 1e-9 on the
+same run.
+
+``REPRO_HOTPATH_PACKETS`` shrinks the timed packet count for CI smoke
+runs (the checked-in JSON comes from a full-size run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.core.micro import MicroModel, MicroModelConfig
+from repro.nn.data import Standardizer
+from repro.nn.infer import compile_inference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+#: Timed packets per trial; override for CI smoke.
+PACKETS = int(os.environ.get("REPRO_HOTPATH_PACKETS", "2000"))
+TRIALS = 5
+WARMUP = 200
+
+#: Conservative regression floors (soft, far below typical results) so
+#: the bench doubles as a CI guard without flaking on noisy runners.
+MIN_SPEEDUP_F64 = 1.1
+MIN_SPEEDUP_F32 = 1.5
+#: The fused float64 engine must match the oracle to this bound (hard).
+EXACTNESS_BOUND = 1e-9
+
+
+def _model_and_standardizer(cell: str, heads: str) -> tuple[MicroModel, Standardizer]:
+    config = MicroModelConfig(cell=cell, heads=heads, seed=5)
+    model = MicroModel(config, np.random.default_rng(5))
+    rng = np.random.default_rng(6)
+    # Perturb away from the symmetric init at a spectral-radius-~1
+    # scale (like a trained model's weights) so gates are exercised.
+    for parameter in model.parameters():
+        parameter.value[...] = rng.normal(
+            scale=1.0 / np.sqrt(config.hidden_size), size=parameter.value.shape
+        )
+    standardizer = Standardizer()
+    standardizer.mean = rng.normal(size=config.input_size)
+    standardizer.std = np.abs(rng.normal(size=config.input_size)) + 0.5
+    return model, standardizer
+
+
+def _time_reference(model, standardizer, features, n) -> float:
+    state = model.initial_state()
+    start = time.perf_counter()
+    for i in range(n):
+        _, _, state = model.predict_step(
+            standardizer.transform(features[i % len(features)]),
+            state,
+            macro_index=i % 4,
+        )
+    return (time.perf_counter() - start) / n
+
+
+def _time_engine(engine, features, n) -> float:
+    start = time.perf_counter()
+    for i in range(n):
+        engine.predict(features[i % len(features)], macro_index=i % 4)
+    return (time.perf_counter() - start) / n
+
+
+def _max_abs_diff(model, standardizer, engine, features) -> float:
+    engine.reset()
+    state = model.initial_state()
+    worst = 0.0
+    for i in range(min(len(features), 500)):
+        raw = features[i]
+        macro_index = i % 4
+        drop_ref, latency_ref, state = model.predict_step(
+            standardizer.transform(raw), state, macro_index=macro_index
+        )
+        drop_fused, latency_fused = engine.predict(raw, macro_index=macro_index)
+        worst = max(worst, abs(drop_ref - drop_fused), abs(latency_ref - latency_fused))
+    return worst
+
+
+def _bench_variant(cell: str, heads: str) -> dict[str, float]:
+    model, standardizer = _model_and_standardizer(cell, heads)
+    compiled64 = compile_inference(
+        model.lstm, model.drop_head, model.latency_head,
+        feature_mean=standardizer.mean, feature_std=standardizer.std,
+        dtype=np.float64,
+    )
+    compiled32 = compile_inference(
+        model.lstm, model.drop_head, model.latency_head,
+        feature_mean=standardizer.mean, feature_std=standardizer.std,
+        dtype=np.float32,
+    )
+    engine64, engine32 = compiled64.engine(), compiled32.engine()
+    features = np.random.default_rng(7).normal(size=(4000, model.config.input_size))
+
+    max_diff64 = _max_abs_diff(model, standardizer, engine64, features)
+
+    # Warm every path (buffers, BLAS threads, branch caches), then
+    # interleave trials so ambient noise hits all paths equally.
+    _time_reference(model, standardizer, features, WARMUP)
+    _time_engine(engine64, features, WARMUP)
+    _time_engine(engine32, features, WARMUP)
+    ref_s, f64_s, f32_s = [], [], []
+    for _ in range(TRIALS):
+        ref_s.append(_time_reference(model, standardizer, features, PACKETS))
+        f64_s.append(_time_engine(engine64, features, PACKETS))
+        f32_s.append(_time_engine(engine32, features, PACKETS))
+    reference, fused64, fused32 = min(ref_s), min(f64_s), min(f32_s)
+    return {
+        "reference_us": reference * 1e6,
+        "fused_float64_us": fused64 * 1e6,
+        "fused_float32_us": fused32 * 1e6,
+        "speedup_float64": reference / fused64,
+        "speedup_float32": reference / fused32,
+        "max_abs_diff_float64": max_diff64,
+    }
+
+
+def test_hotpath_inference_speedup():
+    """Fused vs. reference single-packet latency across model variants."""
+    variants = {
+        "lstm": ("lstm", "shared"),
+        "gru": ("gru", "shared"),
+        "lstm_per_macro": ("lstm", "per_macro"),
+    }
+    results = {name: _bench_variant(*spec) for name, spec in variants.items()}
+
+    default = results["lstm"]
+    payload = {
+        "benchmark": "hotpath_inference",
+        "model": "2-layer/128-hidden (paper default), 21 features",
+        "timed_packets": PACKETS,
+        "trials": TRIALS,
+        "method": "min over interleaved trials of mean per-packet seconds",
+        # Headline: the fused engine's speed mode vs. the only
+        # pre-existing path (reference predict_step, float64).
+        "speedup": default["speedup_float32"],
+        "speedup_float64": default["speedup_float64"],
+        "max_abs_diff_float64": default["max_abs_diff_float64"],
+        "variants": results,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            name,
+            f"{r['reference_us']:.1f}",
+            f"{r['fused_float64_us']:.1f}",
+            f"{r['fused_float32_us']:.1f}",
+            f"{r['speedup_float64']:.2f}x",
+            f"{r['speedup_float32']:.2f}x",
+            f"{r['max_abs_diff_float64']:.2e}",
+        ]
+        for name, r in results.items()
+    ]
+    write_result(
+        "hotpath_inference",
+        format_table(
+            ["variant", "ref us/pkt", "f64 us/pkt", "f32 us/pkt",
+             "f64 speedup", "f32 speedup", "f64 max diff"],
+            rows,
+        ),
+    )
+
+    for name, r in results.items():
+        assert r["max_abs_diff_float64"] <= EXACTNESS_BOUND, name
+        assert r["speedup_float64"] >= MIN_SPEEDUP_F64, (name, r)
+        assert r["speedup_float32"] >= MIN_SPEEDUP_F32, (name, r)

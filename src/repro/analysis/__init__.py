@@ -18,6 +18,7 @@ from repro.analysis.stats import (
     wasserstein_distance,
 )
 from repro.analysis.reporting import format_series, format_table
+from repro.analysis.streaming import StreamingStats
 from repro.analysis.slowdown import (
     SlowdownSummary,
     flow_slowdowns,
@@ -41,5 +42,6 @@ __all__ = [
     "ideal_fct_s",
     "roc_auc",
     "slowdown_by_bucket",
+    "StreamingStats",
     "wasserstein_distance",
 ]

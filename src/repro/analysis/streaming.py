@@ -1,0 +1,143 @@
+"""Bounded-memory streaming statistics for hot-path counters.
+
+The approximated-cluster hot path used to append one float per
+delivered packet to a plain list, which grows without bound over a long
+hybrid run (millions of packets -> tens of MB per cluster and an O(n)
+percentile sort at report time).  :class:`StreamingStats` replaces it:
+Welford's online algorithm for count/mean/variance (numerically stable,
+O(1) per observation) plus a *deterministic* bounded reservoir for
+percentile estimates.
+
+The reservoir uses stride-doubling decimation rather than random
+reservoir sampling on purpose: the hot path's random stream
+(``ApproximatedCluster.rng``) feeds the drop Bernoulli, and consuming
+extra draws for bookkeeping would change every drop decision after the
+first full buffer — silently breaking run-to-run reproducibility.
+Stride doubling keeps every 2^k-th observation, needs no RNG, and still
+covers the whole stream uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class StreamingStats:
+    """Online count/mean/std/min/max plus a bounded percentile sample.
+
+    Parameters
+    ----------
+    max_samples:
+        Upper bound on retained observations for percentile estimation.
+        When the buffer fills, every other retained sample is discarded
+        and the keep-stride doubles, so memory stays O(max_samples)
+        while the kept samples remain an even systematic sample of the
+        whole stream.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max", "_samples", "_stride", "_phase", "max_samples")
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._stride = 1
+        self._phase = 0
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Observe one value (O(1) amortized, allocation-free)."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Systematic sample: keep every stride-th observation.
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            samples = self._samples
+            samples.append(value)
+            if len(samples) >= self.max_samples:
+                del samples[::2]
+                self._stride *= 2
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Observe many values."""
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def sample(self) -> list[float]:
+        """The retained (bounded) systematic sample, in arrival order."""
+        return list(self._samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-th percentile (q in [0, 100]) from the sample.
+
+        Returns ``None`` before any observation.  Exact while the
+        stream still fits the buffer; a systematic-sample estimate
+        afterwards.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        frac = position - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def summary(self) -> dict[str, float]:
+        """Plain-dict snapshot for reports and JSON results."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "StreamingStats(empty)"
+        return (
+            f"StreamingStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )

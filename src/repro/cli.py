@@ -73,6 +73,9 @@ def _print_run(result: RunResult, title: str) -> None:
     if result.model_packets:
         rows.append(["model packets", result.model_packets])
         rows.append(["model drops", result.model_drops])
+        rows.append(["inference wall-clock (s)", result.model_inference_seconds])
+        rows.append(["inference share", result.inference_share])
+        rows.append(["model packets/sec", result.model_packets_per_sec])
     print(f"== {title} ==")
     print(format_table(["metric", "value"], rows))
     for name, sample in (("RTT (us)", result.rtt_samples), ("FCT (ms)", result.fcts)):

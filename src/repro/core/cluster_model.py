@@ -28,10 +28,12 @@ event-count savings come from (counted in ``fabric_events_elided``).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.analysis.streaming import StreamingStats
 from repro.core.features import Direction, RegionFeatureExtractor
 from repro.core.macro import AutoRegressiveMacroClassifier
 from repro.core.region import Region
@@ -48,6 +50,28 @@ from repro.topology.routing import EcmpRouting
 MIN_REGION_LATENCY_S = 1e-6
 #: Latency ceiling guard against wild extrapolation early in training.
 MAX_REGION_LATENCY_S = 1.0
+
+
+class _Delivery:
+    """Prebound egress delivery callback.
+
+    The hot path used to schedule ``lambda e=.., p=.., b=..: ...`` —
+    one fresh closure (code object + cell-free function + 3 defaults)
+    per delivered packet.  This is the same callable as a plain
+    instance: three slot stores at schedule time, one bound call at
+    fire time, and it shows up named in profiles instead of
+    ``<lambda>``.
+    """
+
+    __slots__ = ("entity", "packet", "boundary")
+
+    def __init__(self, entity, packet: Packet, boundary: str) -> None:
+        self.entity = entity
+        self.packet = packet
+        self.boundary = boundary
+
+    def __call__(self) -> None:
+        self.entity.receive(self.packet, self.boundary)
 
 
 class ApproximatedCluster(Entity):
@@ -73,6 +97,15 @@ class ApproximatedCluster(Entity):
         Random stream for sampling the drop Bernoulli.
     macro_bucket_s:
         Macro classifier bucket (match training for consistency).
+    use_fused:
+        Run the fused, allocation-free inference engine
+        (:mod:`repro.nn.infer`) instead of the reference
+        ``predict_step`` path.  Default on; the reference path stays
+        available as the oracle and for debugging.
+    inference_dtype:
+        Engine precision: ``float64`` (default, matches the reference
+        to <= 1e-9) or ``float32`` (opt-in speed mode — halves weight
+        memory traffic at reduced precision).
     """
 
     def __init__(
@@ -85,6 +118,8 @@ class ApproximatedCluster(Entity):
         resolve_entity: Callable[[str], object],
         rng: np.random.Generator,
         macro_bucket_s: float = 0.001,
+        use_fused: bool = True,
+        inference_dtype: str | np.dtype = np.float64,
     ) -> None:
         if isinstance(region, int):
             region = Region.cluster(topology, region)
@@ -95,15 +130,28 @@ class ApproximatedCluster(Entity):
         self.trained = trained
         self.resolve_entity = resolve_entity
         self.rng = rng
+        self.use_fused = use_fused
 
         self.extractor = RegionFeatureExtractor(topology, routing, region)
         self.macro = AutoRegressiveMacroClassifier(
             trained.calibration, bucket_s=macro_bucket_s
         )
-        self._states = {
-            direction: bundle.model.initial_state()
-            for direction, bundle in trained.directions.items()
-        }
+        if use_fused:
+            # Compiled weights are cached on (and shared via) the
+            # trained bundle; each cluster owns only its per-direction
+            # hidden states and scratch.
+            compiled = trained.compiled(inference_dtype)
+            self._engines = {
+                direction: compiled.engine(direction)
+                for direction in trained.directions
+            }
+            self._states = None
+        else:
+            self._engines = None
+            self._states = {
+                direction: bundle.model.initial_state()
+                for direction, bundle in trained.directions.items()
+            }
         # Conflict resolution state: last scheduled delivery per egress node.
         self._last_delivery: dict[str, float] = {}
         self._egress_cache: dict[tuple[str, str, int, int], str] = {}
@@ -115,7 +163,8 @@ class ApproximatedCluster(Entity):
         self.packets_dropped = 0
         self.packets_delivered = 0
         self.conflicts_resolved = 0
-        self.predicted_latencies: list[float] = []
+        self.inference_seconds = 0.0
+        self.latency_stats = StreamingStats()
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, from_node: str) -> None:
@@ -130,11 +179,24 @@ class ApproximatedCluster(Entity):
             direction = next(iter(self.trained.directions))
             bundle = self.trained.directions[direction]
         features = self.extractor.extract(packet, now, self.macro.state, direction=direction)
-        normalized = bundle.feature_standardizer.transform(features)
-        drop_prob, latency_norm, new_state = bundle.model.predict_step(
-            normalized, self._states[direction], macro_index=self.macro.state.value - 1
-        )
-        self._states[direction] = new_state
+        macro_index = self.macro.state.value - 1
+        if self.use_fused:
+            # The engine consumes raw features (the standardizer is
+            # folded into its layer-0 weights) and keeps its hidden
+            # state in place.
+            start = perf_counter()
+            drop_prob, latency_norm = self._engines[direction].predict(
+                features, macro_index=macro_index
+            )
+            self.inference_seconds += perf_counter() - start
+        else:
+            start = perf_counter()
+            normalized = bundle.feature_standardizer.transform(features)
+            drop_prob, latency_norm, new_state = bundle.model.predict_step(
+                normalized, self._states[direction], macro_index=macro_index
+            )
+            self.inference_seconds += perf_counter() - start
+            self._states[direction] = new_state
 
         if self.rng.random() < drop_prob:
             self.packets_dropped += 1
@@ -143,7 +205,7 @@ class ApproximatedCluster(Entity):
 
         latency = bundle.latency_from_norm(latency_norm)
         latency = min(max(latency, MIN_REGION_LATENCY_S), MAX_REGION_LATENCY_S)
-        self.predicted_latencies.append(latency)
+        self.latency_stats.add(latency)
         self.macro.observe(now, latency_s=latency)
 
         target = self._egress_node(packet, direction)
@@ -151,10 +213,7 @@ class ApproximatedCluster(Entity):
         deliver_at = self._resolve_conflict(target, now + latency, packet)
         entity = self.resolve_entity(target)
         self.packets_delivered += 1
-        self.sim.schedule_at(
-            deliver_at,
-            lambda e=entity, p=packet, b=boundary: e.receive(p, b),
-        )
+        self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
 
     # ------------------------------------------------------------------
     def _egress_node(self, packet: Packet, direction: Direction) -> str:

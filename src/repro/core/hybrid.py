@@ -57,12 +57,21 @@ class HybridConfig:
         layer included — with one rest-of-network model.  The trained
         bundle should then come from a rest-of-network trace
         (``Region.rest_of_network``), not a single-cluster trace.
+    use_fused_inference:
+        Run approximated clusters on the fused, allocation-free
+        inference engine (:mod:`repro.nn.infer`).  Default on; off
+        falls back to the reference ``predict_step`` oracle path.
+    inference_dtype:
+        Engine precision — ``"float64"`` (default, reference-exact to
+        <= 1e-9) or ``"float32"`` (opt-in speed mode).
     """
 
     full_cluster: int = 0
     elide_remote_traffic: bool = True
     macro_bucket_s: float = 0.001
     single_black_box: bool = False
+    use_fused_inference: bool = True
+    inference_dtype: str = "float64"
 
 
 class HybridSimulation:
@@ -138,6 +147,8 @@ class HybridSimulation:
                 resolve_entity=self._resolve_entity,
                 rng=sim.rng.stream("approx-blackbox.drops"),
                 macro_bucket_s=self.config.macro_bucket_s,
+                use_fused=self.config.use_fused_inference,
+                inference_dtype=self.config.inference_dtype,
             )
             self.models[BLACK_BOX_KEY] = model
             for name in region.switches:
@@ -160,6 +171,8 @@ class HybridSimulation:
                     resolve_entity=self._resolve_entity,
                     rng=sim.rng.stream(f"approx-cluster-{cluster}.drops"),
                     macro_bucket_s=self.config.macro_bucket_s,
+                    use_fused=self.config.use_fused_inference,
+                    inference_dtype=self.config.inference_dtype,
                 )
                 self.models[cluster] = model
                 for node in topology.cluster_nodes(cluster):
@@ -211,6 +224,32 @@ class HybridSimulation:
     def model_drops(self) -> int:
         """Packets dropped by model decisions."""
         return sum(m.packets_dropped for m in self.models.values())
+
+    def inference_seconds(self) -> float:
+        """Wall-clock spent inside model inference, all clusters."""
+        return sum(m.inference_seconds for m in self.models.values())
+
+    def hot_path_counters(self, wallclock_s: Optional[float] = None) -> dict[str, float]:
+        """Hot-path health snapshot for the approximated clusters.
+
+        Parameters
+        ----------
+        wallclock_s:
+            Total run wall-clock; when given, the share of it spent in
+            inference and the packet throughput are included.
+        """
+        packets = self.model_packets_handled()
+        inference = self.inference_seconds()
+        counters = {
+            "model_packets": float(packets),
+            "model_drops": float(self.model_drops()),
+            "inference_seconds": inference,
+            "inference_seconds_per_packet": inference / packets if packets else 0.0,
+        }
+        if wallclock_s is not None and wallclock_s > 0:
+            counters["inference_share"] = inference / wallclock_s
+            counters["model_packets_per_sec"] = packets / wallclock_s
+        return counters
 
     def observed_rtt_samples(self) -> list[float]:
         """RTTs observed by the full-fidelity cluster's hosts.

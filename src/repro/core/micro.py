@@ -157,7 +157,7 @@ class MicroModel(Module):
             logit = self.drop_head.forward_single(hidden[0], macro_index)
             latency_norm = self.latency_head.forward_single(hidden[0], macro_index)
         else:
-            logit = float(self.drop_head.forward(hidden)[0, 0])
-            latency_norm = float(self.latency_head.forward(hidden)[0, 0])
+            logit = float(self.drop_head.forward_inference(hidden)[0, 0])
+            latency_norm = float(self.latency_head.forward_inference(hidden)[0, 0])
         drop_prob = 1.0 / (1.0 + np.exp(-logit)) if logit > -500 else 0.0
         return drop_prob, latency_norm, new_state

@@ -102,6 +102,7 @@ class RunResult:
     fcts: list[float]
     model_packets: int = 0
     model_drops: int = 0
+    model_inference_seconds: float = 0.0
 
     @property
     def sim_seconds_per_second(self) -> float:
@@ -109,6 +110,20 @@ class RunResult:
         if self.wallclock_seconds <= 0:
             return float("inf")
         return self.sim_seconds / self.wallclock_seconds
+
+    @property
+    def inference_share(self) -> float:
+        """Fraction of wall-clock spent inside model inference."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.model_inference_seconds / self.wallclock_seconds
+
+    @property
+    def model_packets_per_sec(self) -> float:
+        """Wall-clock throughput of packets through approximated clusters."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.model_packets / self.wallclock_seconds
 
 
 @dataclass
@@ -263,5 +278,6 @@ def run_hybrid_simulation(
         fcts=generator.completed_fcts(),
         model_packets=hybrid_sim.model_packets_handled(),
         model_drops=hybrid_sim.model_drops(),
+        model_inference_seconds=hybrid_sim.inference_seconds(),
     )
     return result, hybrid_sim

@@ -46,6 +46,7 @@ from repro.core.region import Region
 from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.nn.data import BatchIterator, Standardizer, make_sequences
+from repro.nn.infer import CompiledRecurrentModel, FusedInferenceEngine, compile_inference
 from repro.nn.losses import JointDropLatencyLoss, JointLossParts
 from repro.nn.optim import SGD, clip_gradients
 from repro.nn.serialize import load_module_state, save_module_state
@@ -358,6 +359,39 @@ class DirectionModel:
         """Invert the standardized-log-latency transform (to seconds)."""
         return math.exp(latency_norm * self.latency_std + self.latency_mean)
 
+    def compile(self, dtype: str | np.dtype = np.float64) -> CompiledRecurrentModel:
+        """Lower this direction's model into fused inference weights.
+
+        The feature standardizer is folded into layer 0, so compiled
+        engines consume *raw* extractor features directly.
+        """
+        return compile_inference(
+            self.model.lstm,
+            self.model.drop_head,
+            self.model.latency_head,
+            feature_mean=self.feature_standardizer.mean,
+            feature_std=self.feature_standardizer.std,
+            dtype=dtype,
+        )
+
+
+@dataclass
+class CompiledClusterModel:
+    """Fused inference weights for both directions of a trained bundle.
+
+    Produced by :meth:`TrainedClusterModel.compiled`; weights are
+    shared read-only, so one compiled bundle serves every approximated
+    cluster in a simulation — each cluster spawns its own per-direction
+    :class:`~repro.nn.infer.FusedInferenceEngine` (which owns the
+    hidden state) via :meth:`engine`.
+    """
+
+    directions: dict[Direction, CompiledRecurrentModel]
+
+    def engine(self, direction: Direction) -> FusedInferenceEngine:
+        """A fresh hot-path executor for one direction."""
+        return self.directions[direction].engine()
+
 
 @dataclass
 class TrainedClusterModel:
@@ -372,10 +406,34 @@ class TrainedClusterModel:
     calibration: MacroCalibration
     directions: dict[Direction, DirectionModel]
     training_summary: dict[str, float] = field(default_factory=dict)
+    _compiled: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def direction(self, direction: Direction) -> DirectionModel:
         """The model bundle for one direction."""
         return self.directions[direction]
+
+    def compiled(self, dtype: str | np.dtype = np.float64) -> CompiledClusterModel:
+        """Fused inference weights for the hybrid hot path.
+
+        Compilation happens once per dtype and is cached on the bundle,
+        so every approximated cluster of a simulation shares the same
+        read-only weight arrays.  ``float64`` (default) matches the
+        reference ``predict_step`` path to <= 1e-9; ``float32`` is the
+        opt-in speed mode.
+        """
+        key = np.dtype(dtype).name
+        cached = self._compiled.get(key)
+        if cached is None:
+            cached = CompiledClusterModel(
+                directions={
+                    direction: bundle.compile(dtype)
+                    for direction, bundle in self.directions.items()
+                }
+            )
+            self._compiled[key] = cached
+        return cached
 
     # -- persistence ----------------------------------------------------
     def save(self, directory: str | Path) -> None:

@@ -52,6 +52,15 @@ class Linear(Module):
         self._last_input = x
         return x @ self.weight.value + self.bias.value
 
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer without caching for backprop.
+
+        The inference hot path calls this: :meth:`forward` would pin
+        every packet's hidden-state array in ``_last_input`` (keeping
+        it alive until the next call) and do bookkeeping no one reads.
+        """
+        return x @ self.weight.value + self.bias.value
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Accumulate parameter gradients; return gradient w.r.t. input.
 

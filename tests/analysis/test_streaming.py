@@ -1,0 +1,98 @@
+"""Tests for the bounded-memory streaming statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import StreamingStats
+
+
+def test_empty():
+    stats = StreamingStats()
+    assert stats.count == 0
+    assert len(stats) == 0
+    assert stats.percentile(50) is None
+    assert stats.summary() == {"count": 0}
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        StreamingStats(max_samples=1)
+    stats = StreamingStats()
+    stats.add(1.0)
+    with pytest.raises(ValueError):
+        stats.percentile(101)
+
+
+def test_exact_while_stream_fits_buffer():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    stats = StreamingStats(max_samples=16)
+    stats.extend(values)
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(3.0)
+    assert stats.min == 1.0 and stats.max == 5.0
+    assert stats.std == pytest.approx(np.std(values))
+    assert stats.percentile(0) == 1.0
+    assert stats.percentile(50) == 3.0
+    assert stats.percentile(100) == 5.0
+    assert stats.sample == values
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=300,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_moments_match_numpy_exactly_regardless_of_buffer(values):
+    """Welford moments cover the *whole* stream even after decimation."""
+    stats = StreamingStats(max_samples=8)
+    stats.extend(values)
+    assert stats.count == len(values)
+    assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+    assert stats.std == pytest.approx(np.std(values), rel=1e-6, abs=1e-6)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+
+
+def test_sample_stays_bounded_and_percentiles_stay_sane():
+    stats = StreamingStats(max_samples=64)
+    n = 100_000
+    for i in range(n):
+        stats.add(float(i))
+    assert len(stats._samples) < 64
+    assert stats.count == n
+    # A systematic sample of 0..n-1 puts every percentile within a few
+    # stride-widths (a few percent of the range) of the true value.
+    for q in (10, 50, 90):
+        estimate = stats.percentile(q)
+        assert estimate == pytest.approx(q / 100 * n, abs=0.05 * n)
+    summary = stats.summary()
+    assert summary["count"] == n
+    assert summary["p50"] == stats.percentile(50)
+
+
+def test_deterministic_and_rng_free():
+    """Identical streams give identical state — no hidden randomness
+    (the hot path's RNG must not be perturbed by bookkeeping)."""
+    a, b = StreamingStats(max_samples=32), StreamingStats(max_samples=32)
+    values = np.random.default_rng(7).normal(size=5000)
+    a.extend(values)
+    b.extend(values)
+    assert a.sample == b.sample
+    assert a.summary() == b.summary()
+
+
+def test_repr_and_infinite_safety():
+    stats = StreamingStats()
+    assert "empty" in repr(stats)
+    stats.add(2.5)
+    assert "count=1" in repr(stats)
+    assert not math.isinf(stats.mean)

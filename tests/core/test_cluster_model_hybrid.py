@@ -85,10 +85,48 @@ class TestHybridExecution:
         assert result.flows_elided > 0
         assert result.flows_completed > 0
         assert len(result.rtt_samples) > 0
-        # Model predictions respect the physical floor.
+        # Model predictions respect the physical floor, and the
+        # streaming stats cover every delivered packet.
         for model in hybrid.models.values():
-            for latency in model.predicted_latencies:
-                assert latency >= MIN_REGION_LATENCY_S
+            stats = model.latency_stats
+            assert stats.count == model.packets_delivered
+            if stats.count:
+                assert stats.min >= MIN_REGION_LATENCY_S
+                for latency in stats.sample:
+                    assert latency >= MIN_REGION_LATENCY_S
+        # The hot-path counters account for real inference work.
+        assert hybrid.inference_seconds() > 0.0
+        counters = hybrid.hot_path_counters(wallclock_s=result.wallclock_seconds)
+        assert counters["model_packets"] == result.model_packets
+        assert 0.0 < counters["inference_share"] <= 1.0
+        assert result.model_inference_seconds == hybrid.inference_seconds()
+
+    def test_resolve_conflict_fcfs_serialization(self, trained_bundle):
+        """Section 4.2: two packets can never egress the same target
+        within one serialization time; the first-processed packet keeps
+        its slot and conflicts are pushed to the next possible time."""
+        from repro.des.kernel import Simulator
+        from repro.net.packet import Packet
+
+        topo = build_clos(ClosParams(clusters=2))
+        hybrid = HybridSimulation(Simulator(seed=3), topo, trained_bundle)
+        model = hybrid.models[1]
+        target = server_name(1, 0, 0)
+        packet = Packet(src="a", dst="b", src_port=1, dst_port=2, payload_bytes=1460)
+        serialization = packet.size_bytes * 8.0 / model._egress_link_rate(target)
+
+        # Burst of conflicting requests: same target, same instant.
+        granted = [model._resolve_conflict(target, 1e-3, packet) for _ in range(20)]
+        assert granted[0] == 1e-3  # first-come keeps its slot
+        for earlier, later in zip(granted, granted[1:]):
+            assert later - earlier >= serialization * (1 - 1e-12)
+        assert model.conflicts_resolved >= 19
+
+        # A request far in the future is not delayed...
+        assert model._resolve_conflict(target, 1.0, packet) == 1.0
+        # ...and other targets are independent.
+        other = server_name(1, 0, 1)
+        assert model._resolve_conflict(other, 1e-3, packet) == 1e-3
 
     def test_conflict_resolution_orders_deliveries(self, trained_bundle):
         """Per egress node, deliveries are strictly separated by at
@@ -117,6 +155,22 @@ class TestHybridExecution:
         assert hybrid_result.flows_started == full.flows_started
         assert hybrid_result.flows_elided == 0
         assert hybrid_result.events_executed < full.events_executed
+
+    def test_fused_engine_matches_reference_path_end_to_end(self, trained_bundle):
+        """A float64 fused run reproduces the reference predict_step
+        run: same drop decisions, same event schedule, RTTs equal to
+        within the 1e-9 engine tolerance."""
+        config = ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.003, seed=26
+        )
+        fused, _ = run_hybrid_simulation(config, trained_bundle)
+        reference, _ = run_hybrid_simulation(
+            config, trained_bundle, hybrid=HybridConfig(use_fused_inference=False)
+        )
+        assert fused.model_packets == reference.model_packets
+        assert fused.model_drops == reference.model_drops
+        assert fused.events_executed == reference.events_executed
+        assert fused.rtt_samples == pytest.approx(reference.rtt_samples, abs=1e-9)
 
     def test_deterministic(self, trained_bundle):
         config = ExperimentConfig(
