@@ -5,52 +5,94 @@ prediction, L = L_drop + alpha * L_latency ... In practice, we set
 alpha to a value 0 < alpha <= 1 because the contribution of drops in
 determining future behavior is more significant than latency."
 
-This ablation sweeps alpha and reports held-out drop and latency loss
-components separately — the trade the paper describes.
+The sweep is submitted through :mod:`repro.runs` (``evaluate`` stage,
+``alpha`` axis): each point trains its own model — alpha is part of the
+model fingerprint — and scores it on a fresh held-out trace, with every
+run's config, seeds, and metrics recorded in a durable manifest.  A
+second submission of the same spec then demonstrates the point of the
+model registry: every run is a fingerprint cache hit and no training
+happens at all, so re-generating the figure (or extending the sweep)
+costs only the evaluation traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict
 
 import numpy as np
 import pytest
 
-from benchmarks.ablation_util import evaluate, split_windows
 from benchmarks.conftest import write_result
 from repro.analysis.reporting import format_table
 from repro.core.features import Direction
-from repro.core.training import build_direction_datasets, standardize_and_window, train_micro_model
+from repro.runs import ScenarioSpec, SchedulerConfig, SweepScheduler
 
 ALPHAS = (0.1, 0.5, 1.0)
 
-_rows: list[list[object]] = []
+
+def _spec(train_experiment, micro_config) -> ScenarioSpec:
+    training = asdict(train_experiment)
+    clos = training.pop("clos")
+    training["clusters"] = clos["clusters"]
+    training.pop("net", None)
+    training.pop("intra_cluster_fraction", None)
+    return ScenarioSpec.from_dict({
+        "name": "ablation-a4-alpha",
+        "stage": "evaluate",
+        "experiment": {
+            "clusters": 2,
+            "load": train_experiment.load,
+            "duration_s": train_experiment.duration_s / 2,
+            "seed": 202,
+        },
+        "training": training,
+        "micro": asdict(micro_config),
+        "sweep": {"alpha": list(ALPHAS)},
+    })
 
 
-@pytest.mark.parametrize("alpha", ALPHAS)
-def test_alpha_point(benchmark, alpha, trained_bundle, micro_config):
-    _, full_output = trained_bundle
-    datasets, _ = build_direction_datasets(full_output.records, full_output.extractor)
-    data = standardize_and_window(datasets[Direction.INGRESS], micro_config.window)
-    train, test = split_windows(data)
-    config = replace(micro_config, alpha=alpha)
+def test_alpha_sweep_via_scheduler(benchmark, tmp_path_factory, train_experiment, micro_config):
+    spec = _spec(train_experiment, micro_config)
+    registry = tmp_path_factory.mktemp("alpha-registry")
+    cold_out = tmp_path_factory.mktemp("alpha-sweep-cold")
 
-    def train_model():
-        model, _ = train_micro_model(train, config, np.random.default_rng(2))
-        return model
+    def submit_cold():
+        scheduler = SweepScheduler(
+            spec, cold_out, registry_root=registry,
+            config=SchedulerConfig(workers=0, retries=0),
+        )
+        return scheduler.submit()
 
-    model = benchmark.pedantic(train_model, rounds=1, iterations=1)
-    # Evaluate with alpha=1 so the reported components are comparable
-    # across the sweep (alpha only reweights training emphasis).
-    losses = evaluate(model, test, alpha=1.0)
-    _rows.append([alpha, losses["drop"], losses["latency"]])
-    benchmark.extra_info.update(losses)
-    assert np.isfinite(losses["drop"]) and np.isfinite(losses["latency"])
+    manifests = benchmark.pedantic(submit_cold, rounds=1, iterations=1)
+    assert [m.status for m in manifests] == ["completed"] * len(ALPHAS)
+    # Distinct alphas are distinct fingerprints: each point trained once.
+    assert all(m.model is not None and not m.model["cache_hit"] for m in manifests)
+    assert len({m.model["fingerprint"] for m in manifests}) == len(ALPHAS)
 
+    # Resubmitting the identical spec must not train anything: the
+    # registry serves every fingerprint from cache.
+    warm_out = tmp_path_factory.mktemp("alpha-sweep-warm")
+    warm = SweepScheduler(
+        spec, warm_out, registry_root=registry,
+        config=SchedulerConfig(workers=0, retries=0),
+    ).submit()
+    assert [m.status for m in warm] == ["completed"] * len(ALPHAS)
+    assert all(m.model["cache_hit"] for m in warm)
 
-def test_alpha_report(benchmark):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if not _rows:
-        pytest.skip("no points collected")
-    table = format_table(["alpha", "test_drop_loss", "test_latency_loss"], _rows)
+    rows = []
+    for manifest in manifests:
+        ingress = manifest.result["directions"][Direction.INGRESS.value]
+        auc = ingress["drop_auc"]
+        rows.append([
+            manifest.axes["alpha"],
+            "-" if auc is None else f"{auc:.3f}",
+            f"{ingress['latency_log_mae']:.3f}",
+            f"{ingress['latency_median_relative_error']:.2f}",
+            f"{manifest.model['train_wallclock_s']:.1f}",
+        ])
+        assert np.isfinite(ingress["latency_log_mae"])
+    table = format_table(
+        ["alpha", "drop_auc", "latency_log_mae", "median_rel_err", "train (s)"],
+        rows,
+    )
     write_result("ablation_a4_alpha", table)

@@ -13,6 +13,12 @@ larger deployments.  The example:
    printing the wall-clock and event-count scaling.
 
 Run:  python examples/train_once_scale_out.py
+
+This is the *manual* version of the workflow; the orchestrated
+equivalent is one command over a declarative spec (derived seeds,
+model-registry cache, durable per-run manifests)::
+
+    python -m repro runs submit --spec examples/specs/scale_out.json --out runs/
 """
 
 from __future__ import annotations

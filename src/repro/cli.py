@@ -5,6 +5,9 @@ Exposes the Figure 3 workflow without writing Python::
     python -m repro simulate --clusters 2 --load 0.25 --duration 0.01
     python -m repro train    --output cluster_model/ --duration 0.01
     python -m repro hybrid   --model cluster_model/ --clusters 8
+    python -m repro runs     submit --spec sweep.json --out runs/
+    python -m repro runs     status --out runs/
+    python -m repro models   ls --registry runs/models
     python -m repro info
 
 ``simulate`` runs full fidelity and prints workload statistics (with
@@ -215,6 +218,145 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_axes(axes: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(axes.items())) or "-"
+
+
+def _cmd_runs_submit(args: argparse.Namespace) -> int:
+    from repro.runs import SchedulerConfig, SweepScheduler, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load spec: {error}", file=sys.stderr)
+        return 2
+    config = SchedulerConfig(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+    )
+    scheduler = SweepScheduler(
+        spec, args.out, registry_root=args.registry, config=config
+    )
+    print(
+        f"submitting sweep {spec.name!r}: {len(spec.expand())} runs "
+        f"({spec.stage} stage, {args.workers} workers) -> {args.out}"
+    )
+    manifests = scheduler.submit()
+    rows = []
+    for manifest in manifests:
+        cache = "-"
+        if manifest.model is not None:
+            cache = "hit" if manifest.model.get("cache_hit") else "miss"
+        wall = (
+            f"{manifest.wallclock_seconds:.2f}"
+            if manifest.wallclock_seconds is not None
+            else "-"
+        )
+        rows.append([
+            manifest.run_id, manifest.status, manifest.attempts,
+            wall, cache, _format_axes(manifest.axes),
+        ])
+    print(format_table(
+        ["run", "status", "attempts", "wall (s)", "model", "axes"], rows
+    ))
+    failed = sum(1 for m in manifests if m.status != "completed")
+    if failed:
+        print(f"{failed}/{len(manifests)} runs did not complete", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_runs_status(args: argparse.Namespace) -> int:
+    from repro.runs import RunStore, summarize_statuses
+
+    store = RunStore(args.out)
+    manifests = store.manifests(status=args.status, stage=args.stage)
+    if not manifests:
+        print(f"no run manifests under {args.out}")
+        return 0
+    rows = []
+    for manifest in manifests:
+        cache = "-"
+        if manifest.model is not None:
+            cache = "hit" if manifest.model.get("cache_hit") else "miss"
+        wall = (
+            f"{manifest.wallclock_seconds:.2f}"
+            if manifest.wallclock_seconds is not None
+            else "-"
+        )
+        rows.append([
+            manifest.run_id, manifest.stage, manifest.status,
+            manifest.attempts, wall, cache, _format_axes(manifest.axes),
+        ])
+    print(format_table(
+        ["run", "stage", "status", "attempts", "wall (s)", "model", "axes"], rows
+    ))
+    counts = summarize_statuses(manifests)
+    print(", ".join(f"{status}: {count}" for status, count in sorted(counts.items())))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.runs import RunStore
+
+    store = RunStore(args.out)
+    try:
+        manifest = store.get(args.run_id)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(_json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_models_ls(args: argparse.Namespace) -> int:
+    import datetime as _dt
+
+    from repro.runs import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    entries = registry.entries()
+    if not entries:
+        print(f"no models under {args.registry}")
+        return 0
+    rows = []
+    for entry in entries:
+        micro = entry.inputs.get("micro", {})
+        shape = "-"
+        if micro:
+            shape = (
+                f"{micro.get('cell', '?')} h{micro.get('hidden_size', '?')}"
+                f"x{micro.get('num_layers', '?')}"
+            )
+        rows.append([
+            entry.fingerprint,
+            shape,
+            f"{entry.size_bytes / 1024:.0f}",
+            _dt.datetime.fromtimestamp(entry.created_at).strftime("%Y-%m-%d %H:%M:%S"),
+            _dt.datetime.fromtimestamp(entry.last_used_at).strftime("%Y-%m-%d %H:%M:%S"),
+        ])
+    print(format_table(
+        ["fingerprint", "model", "size (KiB)", "created", "last used"], rows
+    ))
+    return 0
+
+
+def _cmd_models_gc(args: argparse.Namespace) -> int:
+    from repro.runs import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    removed = registry.gc(keep=args.keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for entry in removed:
+        print(f"{verb} {entry.fingerprint} ({entry.size_bytes / 1024:.0f} KiB)")
+    kept = len(registry.entries())
+    print(f"{verb} {len(removed)} model(s); {kept} kept under {args.registry}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print(
@@ -284,6 +426,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster whose boundary to trace and predict",
     )
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    runs = commands.add_parser(
+        "runs", help="experiment orchestration: sweeps, manifests, run store"
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    submit = runs_commands.add_parser(
+        "submit", help="expand a scenario spec and execute its sweep"
+    )
+    submit.add_argument("--spec", required=True, help="scenario spec (.json or .toml)")
+    submit.add_argument("--out", default="runs", help="sweep output directory")
+    submit.add_argument(
+        "--registry", default=None,
+        help="model registry directory (default: <out>/models)",
+    )
+    submit.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = run inline in this process)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="per-attempt timeout in seconds"
+    )
+    submit.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts after a failed or timed-out run",
+    )
+    submit.add_argument(
+        "--backoff", type=float, default=0.25, help="base retry backoff in seconds"
+    )
+    submit.set_defaults(handler=_cmd_runs_submit)
+
+    status = runs_commands.add_parser("status", help="list a sweep's run manifests")
+    status.add_argument("--out", default="runs", help="sweep output directory")
+    status.add_argument(
+        "--status", default=None,
+        choices=("running", "completed", "failed", "timeout"),
+        help="only show runs in this state",
+    )
+    status.add_argument("--stage", default=None, help="only show runs of this stage")
+    status.set_defaults(handler=_cmd_runs_status)
+
+    show = runs_commands.add_parser("show", help="print one run's full manifest")
+    show.add_argument("run_id", help="run id (see 'repro runs status')")
+    show.add_argument("--out", default="runs", help="sweep output directory")
+    show.set_defaults(handler=_cmd_runs_show)
+
+    models = commands.add_parser(
+        "models", help="model registry: list and garbage-collect trained bundles"
+    )
+    models_commands = models.add_subparsers(dest="models_command", required=True)
+
+    models_ls = models_commands.add_parser("ls", help="list stored cluster models")
+    models_ls.add_argument(
+        "--registry", default="runs/models", help="model registry directory"
+    )
+    models_ls.set_defaults(handler=_cmd_models_ls)
+
+    models_gc = models_commands.add_parser(
+        "gc", help="drop all but the most-recently-used models"
+    )
+    models_gc.add_argument(
+        "--registry", default="runs/models", help="model registry directory"
+    )
+    models_gc.add_argument(
+        "--keep", type=int, default=8, help="how many recently-used models to keep"
+    )
+    models_gc.add_argument(
+        "--dry-run", action="store_true", help="report victims without deleting"
+    )
+    models_gc.set_defaults(handler=_cmd_models_gc)
 
     info = commands.add_parser("info", help="version and model feature list")
     info.set_defaults(handler=_cmd_info)

@@ -81,6 +81,14 @@ class ExperimentConfig:
             raise ValueError(
                 f"matrix must be uniform|permutation|incast, got {self.matrix!r}"
             )
+        # Sweep schedulers build configs from parsed spec files; bad
+        # numbers must fail here, not surface as NaNs mid-simulation.
+        if not self.load > 0:
+            raise ValueError(f"load must be > 0, got {self.load}")
+        if not self.duration_s > 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
 
     def sizes(self) -> EmpiricalSizeDistribution:
         """The flow-size distribution (the paper's web-search trace)."""

@@ -436,10 +436,27 @@ class TrainedClusterModel:
         return cached
 
     # -- persistence ----------------------------------------------------
-    def save(self, directory: str | Path) -> None:
-        """Write the bundle to a directory (npz weights + json meta)."""
+    def save(self, directory: str | Path) -> Path:
+        """Write the bundle to a directory (npz weights + json meta).
+
+        Returns the directory; ``bundle.json`` records the per-direction
+        weight files actually written, so registries and manifests can
+        point at concrete artifacts.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        artifacts: dict[str, str] = {}
+        for direction, bundle in self.directions.items():
+            metadata = {
+                "feature_mean": bundle.feature_standardizer.state_dict()["mean"],
+                "feature_std": bundle.feature_standardizer.state_dict()["std"],
+                "latency_mean": np.asarray(bundle.latency_mean),
+                "latency_std": np.asarray(bundle.latency_std),
+            }
+            written = save_module_state(
+                bundle.model, directory / f"{direction.value}.npz", metadata=metadata
+            )
+            artifacts[direction.value] = written.name
         meta = {
             "config": {
                 "input_size": self.config.input_size,
@@ -461,19 +478,11 @@ class TrainedClusterModel:
                 "drop_rate_high": self.calibration.drop_rate_high,
             },
             "directions": [d.value for d in self.directions],
+            "artifacts": artifacts,
             "training_summary": self.training_summary,
         }
         (directory / "bundle.json").write_text(json.dumps(meta, indent=2))
-        for direction, bundle in self.directions.items():
-            metadata = {
-                "feature_mean": bundle.feature_standardizer.state_dict()["mean"],
-                "feature_std": bundle.feature_standardizer.state_dict()["std"],
-                "latency_mean": np.asarray(bundle.latency_mean),
-                "latency_std": np.asarray(bundle.latency_std),
-            }
-            save_module_state(
-                bundle.model, directory / f"{direction.value}.npz", metadata=metadata
-            )
+        return directory
 
     @classmethod
     def load(cls, directory: str | Path) -> "TrainedClusterModel":

@@ -19,25 +19,49 @@ from repro.nn.module import Module
 _META_PREFIX = "__meta__:"
 
 
+def normalize_npz_path(path: str | Path) -> Path:
+    """The path ``np.savez`` actually writes: ``.npz`` appended unless present.
+
+    ``np.savez("m")`` silently writes ``m.npz``; without this shared
+    normalization a ``save_module_state("m")`` /
+    ``load_module_state(model, "m")`` pair would save fine and then
+    fail to load.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_module_state(
     module: Module, path: str | Path, metadata: Optional[dict[str, np.ndarray]] = None
-) -> None:
-    """Save all parameters of ``module`` (and optional metadata) to ``path``."""
+) -> Path:
+    """Save all parameters of ``module`` (and optional metadata) to ``path``.
+
+    Returns the path actually written (``.npz`` suffix guaranteed).
+    """
+    path = normalize_npz_path(path)
     arrays: dict[str, np.ndarray] = {
         name: param.value for name, param in module.named_parameters()
     }
     for key, value in (metadata or {}).items():
         arrays[_META_PREFIX + key] = np.asarray(value)
     np.savez(path, **arrays)
+    return path
 
 
 def load_module_state(module: Module, path: str | Path) -> dict[str, np.ndarray]:
     """Load parameters saved by :func:`save_module_state` into ``module``.
 
+    Accepts the same suffix-less paths :func:`save_module_state` does
+    (an existing exact path is preferred over the normalized one).
     Returns the metadata dict.  Raises ``KeyError`` if the file is
     missing a parameter the module expects, and ``ValueError`` on shape
     mismatch — silent partial loads would corrupt experiments.
     """
+    path = Path(path)
+    if not path.exists():
+        path = normalize_npz_path(path)
     with np.load(path) as archive:
         data = {key: archive[key] for key in archive.files}
     for name, param in module.named_parameters():

@@ -1,0 +1,201 @@
+"""The worker-side body of one scheduled run.
+
+:func:`execute_run` is the function the sweep scheduler submits to its
+process pool (top-level, so it pickles).  It owns the run directory's
+manifest through the attempt's lifecycle:
+
+1. write a ``running`` manifest immediately (durable even if the
+   worker is later killed by a timeout),
+2. execute the requested pipeline stage — model stages resolve their
+   trained bundle through the :class:`~repro.runs.registry.ModelRegistry`
+   (cache hit or train-and-store),
+3. overwrite the manifest with ``completed`` (result summary, hot-path
+   counters, model provenance) or ``failed`` (exception type, message,
+   full traceback) and return it as a plain dict.
+
+Failures never propagate: a crashing run yields a failed manifest for
+the scheduler's retry logic, not a dead sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.analysis.stats import percentile_summary
+from repro.core.hybrid import HybridConfig
+from repro.core.pipeline import (
+    RunResult,
+    run_full_simulation,
+    run_hybrid_simulation,
+)
+from repro.runs.fingerprint import experiment_hash, experiment_payload
+from repro.runs.manifest import RunManifest
+from repro.runs.registry import ModelRegistry, RegistryLookup
+from repro.runs.spec import RunRequest
+
+_ZERO_COUNTERS = {
+    "model_packets": 0.0,
+    "model_drops": 0.0,
+    "inference_seconds": 0.0,
+    "inference_seconds_per_packet": 0.0,
+}
+
+
+def _sample_summary(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"count": 0.0}
+    return percentile_summary(values, percentiles=(50, 95, 99))
+
+
+def _summarize_result(result: RunResult) -> dict[str, Any]:
+    """Manifest-sized view of a :class:`RunResult` (no raw samples)."""
+    return {
+        "sim_seconds": result.sim_seconds,
+        "wallclock_seconds": result.wallclock_seconds,
+        "sim_seconds_per_second": result.sim_seconds_per_second,
+        "events_executed": result.events_executed,
+        "flows_started": result.flows_started,
+        "flows_completed": result.flows_completed,
+        "flows_elided": result.flows_elided,
+        "drops": result.drops,
+        "model_packets": result.model_packets,
+        "model_drops": result.model_drops,
+        "model_inference_seconds": result.model_inference_seconds,
+        "inference_share": result.inference_share,
+        "rtt": _sample_summary(result.rtt_samples),
+        "fct": _sample_summary(result.fcts),
+    }
+
+
+def _apply_injections(request: RunRequest, attempt: int) -> None:
+    """Test hooks: deterministic failures and hangs (see ScenarioSpec)."""
+    hang_s = float(request.inject.get("hang_s", 0.0))
+    if hang_s > 0.0:
+        time.sleep(hang_s)
+    fail_attempts = int(request.inject.get("fail_attempts", 0))
+    if attempt <= fail_attempts:
+        raise RuntimeError(
+            f"injected failure (attempt {attempt} of {fail_attempts} doomed)"
+        )
+
+
+def _resolve_model(
+    request: RunRequest, registry_root: Optional[str]
+) -> RegistryLookup:
+    if registry_root is None:
+        raise ValueError(f"stage {request.stage!r} needs a model registry")
+    assert request.training is not None and request.micro is not None
+    registry = ModelRegistry(registry_root)
+    return registry.get_or_train(request.training, request.micro)
+
+
+def _run_stage(
+    request: RunRequest, registry_root: Optional[str]
+) -> tuple[dict[str, Any], dict[str, float], Optional[dict[str, Any]]]:
+    """Execute the stage; returns (result, hot_path_counters, model_info)."""
+    model_info: Optional[dict[str, Any]] = None
+    if request.needs_model:
+        lookup = _resolve_model(request, registry_root)
+        model_info = {
+            "fingerprint": lookup.fingerprint,
+            "cache_hit": lookup.cache_hit,
+            "path": str(lookup.path),
+            "train_wallclock_s": lookup.train_wallclock_s,
+        }
+        if request.stage == "train":
+            return (
+                {"training_summary": lookup.model.training_summary},
+                dict(_ZERO_COUNTERS),
+                model_info,
+            )
+        if request.stage == "hybrid":
+            hybrid_config = HybridConfig(**request.hybrid)
+            result, hybrid_sim = run_hybrid_simulation(
+                request.experiment, lookup.model, hybrid=hybrid_config
+            )
+            counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
+            return _summarize_result(result), counters, model_info
+
+        # evaluate: score the bundle against a fresh ground-truth trace.
+        from repro.core.evaluation import evaluate_on_records
+        from repro.core.features import RegionFeatureExtractor
+
+        region_cluster = 1
+        output = run_full_simulation(request.experiment, collect_cluster=region_cluster)
+        if not output.records:
+            raise ValueError(
+                "evaluation trace is empty; increase duration_s or load"
+            )
+        assert output.extractor is not None
+        extractor = RegionFeatureExtractor(
+            output.extractor.topology, output.extractor.routing, region_cluster
+        )
+        evaluations = evaluate_on_records(lookup.model, output.records, extractor)
+        result_dict: dict[str, Any] = {
+            "trace": _summarize_result(output.result),
+            "directions": {
+                direction.value: {
+                    "samples": ev.samples,
+                    "drop_rate_true": ev.drop_rate_true,
+                    "drop_rate_predicted": ev.drop_rate_predicted,
+                    "drop_auc": ev.drop_auc,
+                    "latency_log_mae": ev.latency_log_mae,
+                    "latency_median_relative_error": ev.latency_median_relative_error,
+                }
+                for direction, ev in evaluations.items()
+            },
+        }
+        return result_dict, dict(_ZERO_COUNTERS), model_info
+
+    # simulate: full packet-level fidelity, no model involved.
+    output = run_full_simulation(request.experiment)
+    return _summarize_result(output.result), dict(_ZERO_COUNTERS), None
+
+
+def execute_run(
+    request: RunRequest,
+    out_dir: str,
+    registry_root: Optional[str],
+    attempt: int,
+) -> dict[str, Any]:
+    """Run one attempt end-to-end; always returns a manifest dict."""
+    run_dir = Path(out_dir) / request.run_id
+    started = time.time()
+    manifest = RunManifest(
+        run_id=request.run_id,
+        spec_name=request.spec_name,
+        stage=request.stage,
+        status="running",
+        attempts=attempt,
+        axes=dict(request.axes),
+        seed_master=request.seed_master,
+        seed_derived=request.seed_derived,
+        config=experiment_payload(request.experiment),
+        config_hash=experiment_hash(request.experiment),
+        started_at=started,
+    )
+    manifest.save(run_dir)
+    try:
+        _apply_injections(request, attempt)
+        result, counters, model_info = _run_stage(request, registry_root)
+        manifest.status = "completed"
+        manifest.result = result
+        manifest.hot_path_counters = counters
+        manifest.model = model_info
+        if model_info is not None:
+            manifest.artifacts["model"] = model_info["path"]
+    except Exception as error:  # noqa: BLE001 — failure capture is the contract
+        manifest.status = "failed"
+        manifest.hot_path_counters = dict(_ZERO_COUNTERS)
+        manifest.error = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+    manifest.finished_at = time.time()
+    manifest.wallclock_seconds = manifest.finished_at - started
+    manifest.save(run_dir)
+    return manifest.to_dict()

@@ -1,0 +1,74 @@
+"""Content-addressed identities for configs and trained models.
+
+The registry stores one trained cluster model per *fingerprint* — a
+short digest over everything that determines the artifact's content:
+the training topology shape, the training workload, the micro-model
+hyper-parameters, and the package version.  Two sweeps asking for the
+same model resolve to the same fingerprint and share one training run
+(the memoization idea the paper's train-once/reuse-many workflow
+implies, and which m4-style registries make explicit).
+
+Fingerprints are deliberately *config*-addressed rather than
+weight-addressed: the training pipeline is deterministic given its
+config and seed, so the config is the cheaper, equally unique key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any
+
+from repro import __version__
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig
+
+#: Hex digits kept from the sha256 digest (64 bits; plenty for a
+#: registry of thousands of models).
+FINGERPRINT_LEN = 16
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Any) -> str:
+    encoded = canonical_json(payload).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:FINGERPRINT_LEN]
+
+
+def experiment_payload(config: ExperimentConfig) -> dict:
+    """The full JSON form of an experiment config (hash input)."""
+    return asdict(config)
+
+
+def experiment_hash(config: ExperimentConfig) -> str:
+    """Digest of one run's complete experiment configuration."""
+    return _digest({"kind": "experiment", "experiment": experiment_payload(config)})
+
+
+def model_fingerprint_payload(
+    training: ExperimentConfig,
+    micro: MicroModelConfig,
+    package_version: str = __version__,
+) -> dict:
+    """The fields a model fingerprint commits to (stored alongside it)."""
+    training_dict = experiment_payload(training)
+    return {
+        "kind": "cluster-model",
+        "topology": training_dict.pop("clos"),
+        "training": training_dict,  # load, duration_s, seed, matrix, net, ...
+        "micro": asdict(micro),
+        "version": package_version,
+    }
+
+
+def model_fingerprint(
+    training: ExperimentConfig,
+    micro: MicroModelConfig,
+    package_version: str = __version__,
+) -> str:
+    """Content address of the model trained from these inputs."""
+    return _digest(model_fingerprint_payload(training, micro, package_version))

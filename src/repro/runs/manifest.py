@@ -1,0 +1,203 @@
+"""Durable per-run manifests and the store that queries them.
+
+Every run of a sweep owns ``<out>/<run_id>/manifest.json`` — written
+when the run starts (``status: running``), overwritten atomically on
+every attempt's outcome, and left behind whatever happens to the
+worker, so a sweep's history survives crashes, timeouts, and the
+scheduler process itself dying.  A manifest records everything needed
+to answer "what produced this number": the full config and its hash,
+master + derived seeds, package/python/numpy/git versions, wall-clock,
+the result summary, hot-path counters, the model fingerprint and
+whether it was a registry cache hit, and the failure traceback if any.
+
+:class:`RunStore` lists, filters, and diffs completed manifests — the
+query side of the run-management layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro import __version__
+
+MANIFEST_NAME = "manifest.json"
+
+#: Terminal manifest states (``running`` is the transient one).
+STATUSES = ("running", "completed", "failed", "timeout")
+
+_git_sha_cache: Optional[str] = ""  # "" = not probed yet; None = unavailable
+
+
+def _git_sha() -> Optional[str]:
+    """Best-effort short commit hash of the working tree (cached)."""
+    global _git_sha_cache
+    if _git_sha_cache == "":
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            _git_sha_cache = proc.stdout.strip() or None if proc.returncode == 0 else None
+        except OSError:
+            _git_sha_cache = None
+    return _git_sha_cache
+
+
+def versions_snapshot() -> dict[str, Optional[str]]:
+    """The software versions a manifest pins its result to."""
+    return {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "git": _git_sha(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """The durable record of one run (one JSON file)."""
+
+    run_id: str
+    spec_name: str
+    stage: str
+    status: str
+    attempts: int
+    axes: dict[str, Any]
+    seed_master: int
+    seed_derived: int
+    config: dict[str, Any]
+    config_hash: str
+    versions: dict[str, Any] = field(default_factory=versions_snapshot)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    wallclock_seconds: Optional[float] = None
+    result: Optional[dict[str, Any]] = None
+    hot_path_counters: Optional[dict[str, float]] = None
+    model: Optional[dict[str, Any]] = None
+    error: Optional[dict[str, str]] = None
+    artifacts: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "RunManifest":
+        return cls(**raw)
+
+    # ------------------------------------------------------------------
+    def save(self, run_dir: str | Path) -> Path:
+        """Atomically write this manifest into ``run_dir``."""
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        target = run_dir / MANIFEST_NAME
+        tmp = run_dir / f".{MANIFEST_NAME}.{uuid.uuid4().hex[:8]}"
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read one manifest file (or a run directory containing one)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        return cls.from_dict(json.loads(path.read_text()))
+
+
+def _flatten(prefix: str, value: Any, out: dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), sub, out)
+    else:
+        out[prefix] = value
+
+
+class RunStore:
+    """Query interface over a sweep output directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def run_ids(self) -> list[str]:
+        """Run ids that have a manifest, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            d.name
+            for d in self.root.iterdir()
+            if d.is_dir() and (d / MANIFEST_NAME).exists()
+        )
+
+    def get(self, run_id: str) -> RunManifest:
+        path = self.root / run_id / MANIFEST_NAME
+        if not path.exists():
+            raise KeyError(f"no manifest for run {run_id!r} under {self.root}")
+        return RunManifest.load(path)
+
+    def manifests(
+        self,
+        status: Optional[str] = None,
+        stage: Optional[str] = None,
+        spec: Optional[str] = None,
+    ) -> list[RunManifest]:
+        """All manifests, optionally filtered, in run-id order."""
+        out = []
+        for run_id in self.run_ids():
+            manifest = self.get(run_id)
+            if status is not None and manifest.status != status:
+                continue
+            if stage is not None and manifest.stage != stage:
+                continue
+            if spec is not None and manifest.spec_name != spec:
+                continue
+            out.append(manifest)
+        return out
+
+    # ------------------------------------------------------------------
+    def compare(self, run_a: str, run_b: str) -> dict[str, Any]:
+        """Field-level diff of two runs: config deltas + metric deltas."""
+        a, b = self.get(run_a), self.get(run_b)
+        flat_a: dict[str, Any] = {}
+        flat_b: dict[str, Any] = {}
+        _flatten("", a.config, flat_a)
+        _flatten("", b.config, flat_b)
+        config_diff = {
+            key: {"a": flat_a.get(key), "b": flat_b.get(key)}
+            for key in sorted(set(flat_a) | set(flat_b))
+            if flat_a.get(key) != flat_b.get(key)
+        }
+        metrics: dict[str, Any] = {}
+        res_a: dict[str, Any] = {}
+        res_b: dict[str, Any] = {}
+        _flatten("", a.result or {}, res_a)
+        _flatten("", b.result or {}, res_b)
+        for key in sorted(set(res_a) & set(res_b)):
+            va, vb = res_a[key], res_b[key]
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                metrics[key] = {"a": va, "b": vb, "delta": vb - va}
+        return {
+            "runs": {"a": run_a, "b": run_b},
+            "axes": {"a": a.axes, "b": b.axes},
+            "config": config_diff,
+            "metrics": metrics,
+        }
+
+
+def summarize_statuses(manifests: Iterable[RunManifest]) -> dict[str, int]:
+    """Status histogram (for sweep summaries and the CLI)."""
+    counts: dict[str, int] = {}
+    for manifest in manifests:
+        counts[manifest.status] = counts.get(manifest.status, 0) + 1
+    return counts

@@ -1,0 +1,222 @@
+"""Content-addressed store of trained cluster models.
+
+One directory per fingerprint::
+
+    <root>/<fingerprint>/
+        bundle.json, ingress.npz, egress.npz   (TrainedClusterModel.save)
+        registry.json                          (provenance + usage)
+
+Writes are atomic (save into a temp sibling, ``os.replace`` into
+place), so concurrent workers racing to store the same fingerprint
+cannot leave a torn entry — the loser simply discards its copy and the
+winner's artifact serves everyone.  ``get_or_train`` is the sweep-facing
+entry point: a hit loads in milliseconds what a miss would spend
+seconds-to-hours retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig
+from repro.core.training import TrainedClusterModel
+from repro.runs.fingerprint import model_fingerprint, model_fingerprint_payload
+
+_ENTRY_META = "registry.json"
+_BUNDLE = "bundle.json"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One stored model's identity, provenance, and usage."""
+
+    fingerprint: str
+    path: Path
+    created_at: float
+    last_used_at: float
+    size_bytes: int
+    inputs: dict
+
+
+@dataclass(frozen=True)
+class RegistryLookup:
+    """Result of :meth:`ModelRegistry.get_or_train`."""
+
+    model: TrainedClusterModel
+    fingerprint: str
+    path: Path
+    cache_hit: bool
+    train_wallclock_s: float
+
+
+class ModelRegistry:
+    """Fingerprint-keyed store of :class:`TrainedClusterModel` bundles."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def entry_dir(self, fingerprint: str) -> Path:
+        """Where a fingerprint's artifact lives (existing or not)."""
+        return self.root / fingerprint
+
+    def contains(self, fingerprint: str) -> bool:
+        """True when a complete artifact is stored for ``fingerprint``."""
+        return (self.entry_dir(fingerprint) / _BUNDLE).exists()
+
+    def load(self, fingerprint: str) -> TrainedClusterModel:
+        """Load a stored model and bump its last-used timestamp."""
+        directory = self.entry_dir(fingerprint)
+        if not self.contains(fingerprint):
+            raise KeyError(f"registry has no model {fingerprint!r} under {self.root}")
+        model = TrainedClusterModel.load(directory)
+        self._touch(directory)
+        return model
+
+    def store(
+        self,
+        fingerprint: str,
+        model: TrainedClusterModel,
+        inputs: Optional[dict] = None,
+        train_wallclock_s: float = 0.0,
+    ) -> Path:
+        """Atomically persist ``model`` under ``fingerprint``.
+
+        Returns the entry directory.  A concurrent store of the same
+        fingerprint is harmless: the first replace wins and later ones
+        discard their temp copy.
+        """
+        target = self.entry_dir(fingerprint)
+        if self.contains(fingerprint):
+            return target
+        tmp = self.root / f".tmp-{fingerprint}-{uuid.uuid4().hex[:8]}"
+        try:
+            model.save(tmp)
+            now = time.time()
+            meta = {
+                "fingerprint": fingerprint,
+                "created_at": now,
+                "last_used_at": now,
+                "train_wallclock_s": train_wallclock_s,
+                "inputs": inputs or {},
+                "training_summary": model.training_summary,
+            }
+            (tmp / _ENTRY_META).write_text(json.dumps(meta, indent=2))
+            try:
+                os.replace(tmp, target)
+            except OSError:
+                # Lost the race; the existing entry is complete.
+                if not self.contains(fingerprint):
+                    raise
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return target
+
+    # ------------------------------------------------------------------
+    def get_or_train(
+        self,
+        training: ExperimentConfig,
+        micro: MicroModelConfig,
+        train_fn: Optional[Callable[[], TrainedClusterModel]] = None,
+    ) -> RegistryLookup:
+        """Fetch the model for (training, micro) or train-and-store it.
+
+        ``train_fn`` defaults to the pipeline's
+        :func:`~repro.core.pipeline.train_reusable_model`; tests inject
+        counters here to assert exactly-once training.
+        """
+        fingerprint = model_fingerprint(training, micro)
+        if self.contains(fingerprint):
+            return RegistryLookup(
+                model=self.load(fingerprint),
+                fingerprint=fingerprint,
+                path=self.entry_dir(fingerprint),
+                cache_hit=True,
+                train_wallclock_s=0.0,
+            )
+        if train_fn is None:
+            from repro.core.pipeline import train_reusable_model
+
+            def train_fn() -> TrainedClusterModel:
+                return train_reusable_model(training, micro=micro)[0]
+
+        started = time.perf_counter()
+        model = train_fn()
+        elapsed = time.perf_counter() - started
+        path = self.store(
+            fingerprint,
+            model,
+            inputs=model_fingerprint_payload(training, micro),
+            train_wallclock_s=elapsed,
+        )
+        return RegistryLookup(
+            model=model,
+            fingerprint=fingerprint,
+            path=path,
+            cache_hit=False,
+            train_wallclock_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[RegistryEntry]:
+        """All complete entries, newest-created first."""
+        found: list[RegistryEntry] = []
+        for directory in sorted(self.root.iterdir()):
+            if not directory.is_dir() or directory.name.startswith("."):
+                continue
+            meta_path = directory / _ENTRY_META
+            if not (directory / _BUNDLE).exists():
+                continue
+            meta = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+            size = sum(f.stat().st_size for f in directory.iterdir() if f.is_file())
+            found.append(
+                RegistryEntry(
+                    fingerprint=directory.name,
+                    path=directory,
+                    created_at=float(meta.get("created_at", 0.0)),
+                    last_used_at=float(meta.get("last_used_at", 0.0)),
+                    size_bytes=size,
+                    inputs=meta.get("inputs", {}),
+                )
+            )
+        found.sort(key=lambda e: e.created_at, reverse=True)
+        return found
+
+    def gc(self, keep: int, dry_run: bool = False) -> list[RegistryEntry]:
+        """Drop all but the ``keep`` most-recently-used entries.
+
+        Returns the entries removed (or that would be, with
+        ``dry_run``), least-recently-used first.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        entries = sorted(self.entries(), key=lambda e: e.last_used_at, reverse=True)
+        victims = entries[keep:]
+        victims.sort(key=lambda e: e.last_used_at)
+        if not dry_run:
+            for entry in victims:
+                shutil.rmtree(entry.path, ignore_errors=True)
+        return victims
+
+    # ------------------------------------------------------------------
+    def _touch(self, directory: Path) -> None:
+        """Update last_used_at (atomic rewrite; best-effort)."""
+        meta_path = directory / _ENTRY_META
+        try:
+            meta = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+            meta["last_used_at"] = time.time()
+            tmp = directory / f".{_ENTRY_META}.{uuid.uuid4().hex[:8]}"
+            tmp.write_text(json.dumps(meta, indent=2))
+            os.replace(tmp, meta_path)
+        except OSError:
+            pass

@@ -1,0 +1,38 @@
+"""ExperimentConfig validation: bad spec values must fail fast."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.pipeline import ExperimentConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.load > 0 and config.duration_s > 0
+
+    @pytest.mark.parametrize("load", (0.0, -0.25, math.nan))
+    def test_rejects_non_positive_load(self, load):
+        with pytest.raises(ValueError, match="load must be > 0"):
+            ExperimentConfig(load=load)
+
+    @pytest.mark.parametrize("duration_s", (0.0, -1.0, math.nan))
+    def test_rejects_non_positive_duration(self, duration_s):
+        with pytest.raises(ValueError, match="duration_s must be > 0"):
+            ExperimentConfig(duration_s=duration_s)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError, match="seed must be >= 0"):
+            ExperimentConfig(seed=-1)
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ValueError, match="matrix"):
+            ExperimentConfig(matrix="hypercube")
+
+    def test_overload_is_allowed(self):
+        # load is a fraction of capacity but deliberately unbounded
+        # above 1.0 (overload studies).
+        assert ExperimentConfig(load=1.5).load == 1.5

@@ -208,6 +208,26 @@ class TestSerialization:
         with pytest.raises(KeyError):
             load_module_state(lstm, tmp_path / "m.npz")
 
+    def test_suffixless_path_roundtrips(self, tmp_path, rng):
+        # np.savez appends .npz silently; save/load must agree on the
+        # real path rather than writing m.npz and reading m.
+        layer = Linear(2, 2, rng)
+        written = save_module_state(layer, tmp_path / "m")
+        assert written == tmp_path / "m.npz"
+        assert written.exists()
+        clone = Linear(2, 2, rng)
+        load_module_state(clone, tmp_path / "m")
+        np.testing.assert_array_equal(layer.weight.value, clone.weight.value)
+
+    def test_save_returns_actual_path(self, tmp_path, rng):
+        layer = Linear(2, 2, rng)
+        assert save_module_state(layer, tmp_path / "m.npz") == tmp_path / "m.npz"
+        # A non-.npz suffix gets the archive suffix appended (numpy's
+        # own behavior), and the returned path reflects it.
+        written = save_module_state(layer, tmp_path / "weights.bak")
+        assert written == tmp_path / "weights.bak.npz"
+        assert written.exists()
+
 
 class TestModuleContainers:
     def test_named_parameters_cover_nested(self, rng):

@@ -1,0 +1,117 @@
+"""CLI surface of the runs subsystem (in-process, via main())."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runs import RunStore
+
+SPEC = {
+    "name": "cli-sweep",
+    "stage": "hybrid",
+    "experiment": {"clusters": 2, "load": 0.25, "duration_s": 0.002, "seed": 9},
+    "training": {"clusters": 2, "load": 0.25, "duration_s": 0.004, "seed": 7},
+    "micro": {
+        "hidden_size": 8, "num_layers": 1, "window": 8,
+        "train_batches": 4, "learning_rate": 3e-3,
+    },
+    "sweep": {"load": [0.15, 0.25]},
+}
+
+
+@pytest.fixture(scope="module")
+def submitted_sweep(tmp_path_factory):
+    """One tiny hybrid sweep submitted through the CLI, shared below."""
+    root = tmp_path_factory.mktemp("cli-runs")
+    spec_path = root / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    out = root / "out"
+    code = main([
+        "runs", "submit", "--spec", str(spec_path), "--out", str(out),
+        "--workers", "0", "--retries", "0",
+    ])
+    assert code == 0
+    return out
+
+
+class TestSubmit:
+    def test_manifests_and_cache_hit(self, submitted_sweep, capsys):
+        store = RunStore(submitted_sweep)
+        manifests = store.manifests()
+        assert [m.status for m in manifests] == ["completed", "completed"]
+        assert manifests[0].model["cache_hit"] is False
+        assert manifests[1].model["cache_hit"] is True
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        code = main(["runs", "submit", "--spec", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "stage": "bogus"}))
+        assert main(["runs", "submit", "--spec", str(bad)]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+
+class TestStatusAndShow:
+    def test_status_lists_runs(self, submitted_sweep, capsys):
+        assert main(["runs", "status", "--out", str(submitted_sweep)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep-0000" in out and "cli-sweep-0001" in out
+        assert "completed: 2" in out
+        assert "hit" in out and "miss" in out
+
+    def test_status_filter(self, submitted_sweep, capsys):
+        assert main([
+            "runs", "status", "--out", str(submitted_sweep), "--status", "failed",
+        ]) == 0
+        assert "no run manifests" in capsys.readouterr().out
+
+    def test_show_prints_manifest(self, submitted_sweep, capsys):
+        assert main([
+            "runs", "show", "cli-sweep-0001", "--out", str(submitted_sweep),
+        ]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["config_hash"]
+        assert manifest["model"]["cache_hit"] is True
+        assert manifest["hot_path_counters"]["model_packets"] >= 0
+
+    def test_show_unknown_run_exits_2(self, submitted_sweep, capsys):
+        assert main([
+            "runs", "show", "cli-sweep-9999", "--out", str(submitted_sweep),
+        ]) == 2
+
+    def test_empty_dir_status(self, tmp_path, capsys):
+        assert main(["runs", "status", "--out", str(tmp_path)]) == 0
+        assert "no run manifests" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_store_compare_surfaces_load_delta(self, submitted_sweep):
+        store = RunStore(submitted_sweep)
+        diff = store.compare("cli-sweep-0000", "cli-sweep-0001")
+        assert diff["config"]["load"] == {"a": 0.15, "b": 0.25}
+        assert "events_executed" in diff["metrics"]
+
+
+class TestModels:
+    def test_ls_and_gc(self, submitted_sweep, capsys):
+        registry = submitted_sweep / "models"
+        assert main(["models", "ls", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "lstm h8x1" in out
+
+        assert main([
+            "models", "gc", "--registry", str(registry), "--keep", "0", "--dry-run",
+        ]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert main([
+            "models", "gc", "--registry", str(registry), "--keep", "0",
+        ]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["models", "ls", "--registry", str(registry)]) == 0
+        assert "no models" in capsys.readouterr().out

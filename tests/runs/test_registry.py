@@ -1,0 +1,113 @@
+"""Model registry: fingerprints, round-trips, cache hits, gc."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_COUNT, Direction
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig, train_reusable_model
+from repro.runs import ModelRegistry, model_fingerprint
+from repro.topology.clos import ClosParams
+
+TRAIN_CONFIG = ExperimentConfig(
+    clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=7
+)
+MICRO = MicroModelConfig(
+    hidden_size=8, num_layers=1, window=8, train_batches=5, learning_rate=3e-3
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    trained, _ = train_reusable_model(TRAIN_CONFIG, micro=MICRO)
+    return trained
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert model_fingerprint(TRAIN_CONFIG, MICRO) == model_fingerprint(
+            TRAIN_CONFIG, MICRO
+        )
+
+    def test_sensitive_to_inputs(self):
+        base = model_fingerprint(TRAIN_CONFIG, MICRO)
+        assert model_fingerprint(TRAIN_CONFIG, replace(MICRO, alpha=0.9)) != base
+        assert model_fingerprint(replace(TRAIN_CONFIG, seed=8), MICRO) != base
+        bigger = replace(TRAIN_CONFIG, clos=ClosParams(clusters=4))
+        assert model_fingerprint(bigger, MICRO) != base
+
+    def test_sensitive_to_package_version(self):
+        assert model_fingerprint(TRAIN_CONFIG, MICRO) != model_fingerprint(
+            TRAIN_CONFIG, MICRO, package_version="0.0.0-other"
+        )
+
+
+class TestRoundTrip:
+    def test_stored_model_predicts_identically(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path)
+        fingerprint = model_fingerprint(TRAIN_CONFIG, MICRO)
+        registry.store(fingerprint, tiny_model)
+        assert registry.contains(fingerprint)
+        loaded = registry.load(fingerprint)
+
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(32, FEATURE_COUNT))
+        for direction in (Direction.INGRESS, Direction.EGRESS):
+            original = tiny_model.compiled().engine(direction)
+            restored = loaded.compiled().engine(direction)
+            for row in features:
+                assert original.predict(row) == restored.predict(row)
+
+    def test_get_or_train_caches(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path / "reg")
+        calls = 0
+
+        def train_fn():
+            nonlocal calls
+            calls += 1
+            return tiny_model
+
+        first = registry.get_or_train(TRAIN_CONFIG, MICRO, train_fn=train_fn)
+        second = registry.get_or_train(TRAIN_CONFIG, MICRO, train_fn=train_fn)
+        assert calls == 1
+        assert not first.cache_hit and second.cache_hit
+        assert first.fingerprint == second.fingerprint
+        assert second.train_wallclock_s == 0.0
+
+    def test_store_is_idempotent(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path)
+        fingerprint = "feedfacefeedface"
+        path_a = registry.store(fingerprint, tiny_model)
+        path_b = registry.store(fingerprint, tiny_model)
+        assert path_a == path_b
+        assert registry.contains(fingerprint)
+        assert not any(p.name.startswith(".tmp") for p in registry.root.iterdir())
+
+
+class TestEntriesAndGc:
+    def test_gc_keeps_most_recently_used(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path)
+        for fingerprint in ("aaa", "bbb", "ccc"):
+            registry.store(fingerprint, tiny_model, inputs={"micro": {"cell": "lstm"}})
+        registry.load("bbb")  # bump last_used
+        victims = registry.gc(keep=1, dry_run=True)
+        assert {v.fingerprint for v in victims} == {"aaa", "ccc"}
+        assert len(registry.entries()) == 3  # dry run removed nothing
+        registry.gc(keep=1)
+        assert [e.fingerprint for e in registry.entries()] == ["bbb"]
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            ModelRegistry(tmp_path).gc(keep=-1)
+
+    def test_entries_report_size_and_inputs(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path)
+        registry.store("abc", tiny_model, inputs={"micro": {"hidden_size": 8}})
+        (entry,) = registry.entries()
+        assert entry.fingerprint == "abc"
+        assert entry.size_bytes > 0
+        assert entry.inputs["micro"]["hidden_size"] == 8

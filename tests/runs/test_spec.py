@@ -1,0 +1,162 @@
+"""ScenarioSpec parsing, validation, and deterministic expansion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runs import ScenarioSpec, derive_seed, load_spec
+from repro.runs.spec import MODEL_STAGES
+
+
+def _spec_dict(**overrides) -> dict:
+    base = {
+        "name": "demo",
+        "stage": "simulate",
+        "experiment": {"clusters": 2, "load": 0.2, "duration_s": 0.002, "seed": 5},
+        "sweep": {"load": [0.1, 0.2], "seed": [1, 2]},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParsing:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_spec_dict()))
+        spec = load_spec(path)
+        assert spec.name == "demo"
+        assert spec.experiment.load == 0.2
+        assert spec.sweep == {"load": [0.1, 0.2], "seed": [1, 2]}
+
+    def test_toml(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'name = "demo-toml"\n'
+            'stage = "simulate"\n'
+            "[experiment]\n"
+            "clusters = 2\n"
+            "load = 0.3\n"
+            "duration_s = 0.001\n"
+            "seed = 4\n"
+            "[sweep]\n"
+            "load = [0.1, 0.3]\n"
+        )
+        spec = load_spec(path)
+        assert spec.name == "demo-toml"
+        assert spec.experiment.clos.clusters == 2
+        assert len(spec.expand()) == 2
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="json or .toml"):
+            load_spec(path)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            ScenarioSpec.from_dict(_spec_dict(bogus=1))
+        with pytest.raises(ValueError, match="unknown experiment keys"):
+            ScenarioSpec.from_dict(
+                _spec_dict(experiment={"loda": 0.2})
+            )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            ScenarioSpec.from_dict(_spec_dict(sweep={"bananas": [1]}))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            ScenarioSpec.from_dict(_spec_dict(sweep={"load": []}))
+
+    def test_bad_stage_rejected(self):
+        with pytest.raises(ValueError, match="stage"):
+            ScenarioSpec.from_dict(_spec_dict(stage="transmogrify"))
+
+    def test_bad_config_values_fail_fast(self):
+        with pytest.raises(ValueError, match="load must be > 0"):
+            ScenarioSpec.from_dict(
+                _spec_dict(experiment={"load": -1.0, "duration_s": 0.001})
+            )
+
+    def test_alpha_axis_requires_model_stage(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ScenarioSpec.from_dict(_spec_dict(sweep={"alpha": [0.5]}))
+
+    def test_model_stage_defaults(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(stage="hybrid", sweep={}))
+        assert spec.stage in MODEL_STAGES
+        assert spec.training is not None and spec.training.clos.clusters == 2
+        assert spec.micro is not None
+
+
+class TestExpansion:
+    def test_cartesian_product_in_order(self):
+        spec = ScenarioSpec.from_dict(_spec_dict())
+        runs = spec.expand()
+        # Axes sorted by name: load before seed; values in given order.
+        assert [r.run_id for r in runs] == [f"demo-{i:04d}" for i in range(4)]
+        assert [r.axes for r in runs] == [
+            {"load": 0.1, "seed": 1},
+            {"load": 0.1, "seed": 2},
+            {"load": 0.2, "seed": 1},
+            {"load": 0.2, "seed": 2},
+        ]
+
+    def test_axes_applied_to_configs(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(
+                stage="hybrid",
+                sweep={"clusters": [2, 4], "alpha": [0.25]},
+            )
+        )
+        runs = spec.expand()
+        assert [r.experiment.clos.clusters for r in runs] == [2, 4]
+        assert all(r.micro.alpha == 0.25 for r in runs)
+        # The training config is untouched by evaluation-side axes.
+        assert all(r.training.clos.clusters == 2 for r in runs)
+
+    def test_derived_seeds_deterministic(self):
+        spec_a = ScenarioSpec.from_dict(_spec_dict())
+        spec_b = ScenarioSpec.from_dict(_spec_dict())
+        seeds_a = [r.seed_derived for r in spec_a.expand()]
+        seeds_b = [r.seed_derived for r in spec_b.expand()]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)  # independent streams
+        # Runs execute with the derived seed, and record the master.
+        runs = spec_a.expand()
+        assert all(r.experiment.seed == r.seed_derived for r in runs)
+        assert [r.seed_master for r in runs] == [1, 2, 1, 2]
+
+    def test_master_seed_changes_derived_seeds(self):
+        lo = ScenarioSpec.from_dict(_spec_dict(sweep={"load": [0.1, 0.2]}))
+        hi_dict = _spec_dict(sweep={"load": [0.1, 0.2]})
+        hi_dict["experiment"]["seed"] = 6
+        hi = ScenarioSpec.from_dict(hi_dict)
+        assert [r.seed_derived for r in lo.expand()] != [
+            r.seed_derived for r in hi.expand()
+        ]
+
+    def test_derivation_position_independent(self):
+        # The derived seed hangs off the axis assignment, not the run's
+        # index, so growing a sweep does not reseed existing points.
+        assert derive_seed("s", 7, {"load": 0.1}) == derive_seed("s", 7, {"load": 0.1})
+        assert derive_seed("s", 7, {"load": 0.1}) != derive_seed("s", 7, {"load": 0.2})
+
+    def test_no_sweep_is_single_run(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(sweep={}))
+        runs = spec.expand()
+        assert len(runs) == 1 and runs[0].axes == {}
+
+    def test_inject_hooks_attach_by_index(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(inject={"1": {"fail_attempts": 2}})
+        )
+        runs = spec.expand()
+        assert runs[0].inject == {}
+        assert runs[1].inject == {"fail_attempts": 2}
+
+    def test_unknown_inject_hook_rejected(self):
+        with pytest.raises(ValueError, match="unknown hooks"):
+            ScenarioSpec.from_dict(_spec_dict(inject={"0": {"explode": True}}))
