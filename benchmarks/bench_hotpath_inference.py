@@ -5,7 +5,10 @@ benchmark measures exactly that — single-packet inference latency on
 the paper's default 2-layer/128-hidden LSTM — for the reference path
 (``Standardizer.transform`` + ``MicroModel.predict_step``, what every
 packet paid before the fused engine existed) against the compiled
-engine of :mod:`repro.nn.infer` in both precisions.
+engine of :mod:`repro.nn.infer` in both precisions.  A second section
+prices the observability layer on the same hot path: bare loop vs. the
+``None``-handle branch pattern (metrics disabled; asserted < 2%
+overhead) vs. live histogram observation (metrics enabled; reported).
 
 Results land in two places:
 
@@ -53,6 +56,9 @@ MIN_SPEEDUP_F64 = 1.1
 MIN_SPEEDUP_F32 = 1.5
 #: The fused float64 engine must match the oracle to this bound (hard).
 EXACTNESS_BOUND = 1e-9
+#: Observability contract: with metrics absent/disabled, the per-packet
+#: hot path may cost at most this fraction more than the bare path.
+METRICS_DISABLED_OVERHEAD_BOUND = 0.02
 
 
 def _model_and_standardizer(cell: str, heads: str) -> tuple[MicroModel, Standardizer]:
@@ -143,6 +149,83 @@ def _bench_variant(cell: str, heads: str) -> dict[str, float]:
     }
 
 
+def _bench_metrics_overhead() -> dict[str, float]:
+    """Per-packet cost of the observability layer on the hybrid hot path.
+
+    Reproduces ``ApproximatedCluster.receive``'s instrumentation
+    pattern exactly — ``perf_counter`` bracketing and the elapsed-time
+    accumulation exist with or without metrics, so the obs layer adds:
+
+    * metrics absent/disabled — handles are ``None``; the marginal cost
+      is two ``is not None`` branches per packet (asserted < 2%);
+    * metrics enabled — two real ``Histogram.observe`` calls (reported,
+      not bounded: enabling telemetry is allowed to cost something).
+    """
+    from repro.obs import MetricsRegistry
+
+    model, standardizer = _model_and_standardizer("lstm", "shared")
+    compiled = compile_inference(
+        model.lstm, model.drop_head, model.latency_head,
+        feature_mean=standardizer.mean, feature_std=standardizer.std,
+        dtype=np.float64,
+    )
+    engine = compiled.engine()
+    features = np.random.default_rng(8).normal(size=(4000, model.config.input_size))
+    registry = MetricsRegistry(enabled=True)
+    live_infer = registry.histogram("hybrid.inference_seconds", cluster="bench")
+    live_latency = registry.histogram("hybrid.predicted_latency_s", cluster="bench")
+
+    count = len(features)
+
+    def run_bare(n: int) -> float:
+        # The pre-obs hot path: time + predict + accumulate, no
+        # instrumentation code at all.
+        total = 0.0
+        start = time.perf_counter()
+        for i in range(n):
+            t0 = time.perf_counter()
+            engine.predict(features[i % count], macro_index=i % 4)
+            total += time.perf_counter() - t0
+        elapsed_all = time.perf_counter() - start
+        assert total >= 0.0  # keep the accumulation live
+        return elapsed_all / n
+
+    def run_guarded(n: int, m_infer, m_latency) -> float:
+        # The post-obs hot path: identical plus the two handle
+        # branches; None handles == metrics absent or disabled.
+        total = 0.0
+        start = time.perf_counter()
+        for i in range(n):
+            t0 = time.perf_counter()
+            _, latency = engine.predict(features[i % count], macro_index=i % 4)
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            if m_infer is not None:
+                m_infer.observe(elapsed)
+            if m_latency is not None:
+                m_latency.observe(latency)
+        elapsed_all = time.perf_counter() - start
+        assert total >= 0.0
+        return elapsed_all / n
+
+    run_bare(WARMUP)
+    run_guarded(WARMUP, None, None)
+    run_guarded(WARMUP, live_infer, live_latency)
+    bare_s, disabled_s, enabled_s = [], [], []
+    for _ in range(TRIALS):
+        bare_s.append(run_bare(PACKETS))
+        disabled_s.append(run_guarded(PACKETS, None, None))
+        enabled_s.append(run_guarded(PACKETS, live_infer, live_latency))
+    bare, disabled, enabled = min(bare_s), min(disabled_s), min(enabled_s)
+    return {
+        "bare_us": bare * 1e6,
+        "disabled_us": disabled * 1e6,
+        "enabled_us": enabled * 1e6,
+        "disabled_overhead": disabled / bare - 1.0,
+        "enabled_overhead": enabled / bare - 1.0,
+    }
+
+
 def test_hotpath_inference_speedup():
     """Fused vs. reference single-packet latency across model variants."""
     variants = {
@@ -151,6 +234,7 @@ def test_hotpath_inference_speedup():
         "lstm_per_macro": ("lstm", "per_macro"),
     }
     results = {name: _bench_variant(*spec) for name, spec in variants.items()}
+    overhead = _bench_metrics_overhead()
 
     default = results["lstm"]
     payload = {
@@ -165,6 +249,7 @@ def test_hotpath_inference_speedup():
         "speedup_float64": default["speedup_float64"],
         "max_abs_diff_float64": default["max_abs_diff_float64"],
         "variants": results,
+        "metrics_overhead": overhead,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -180,16 +265,36 @@ def test_hotpath_inference_speedup():
         ]
         for name, r in results.items()
     ]
+    overhead_table = format_table(
+        ["obs mode", "us/pkt", "overhead"],
+        [
+            ["bare (pre-obs)", f"{overhead['bare_us']:.2f}", "-"],
+            [
+                "metrics disabled",
+                f"{overhead['disabled_us']:.2f}",
+                f"{overhead['disabled_overhead']:+.2%}",
+            ],
+            [
+                "metrics enabled",
+                f"{overhead['enabled_us']:.2f}",
+                f"{overhead['enabled_overhead']:+.2%}",
+            ],
+        ],
+    )
     write_result(
         "hotpath_inference",
         format_table(
             ["variant", "ref us/pkt", "f64 us/pkt", "f32 us/pkt",
              "f64 speedup", "f32 speedup", "f64 max diff"],
             rows,
-        ),
+        )
+        + "\n\n"
+        + overhead_table,
     )
 
     for name, r in results.items():
         assert r["max_abs_diff_float64"] <= EXACTNESS_BOUND, name
         assert r["speedup_float64"] >= MIN_SPEEDUP_F64, (name, r)
         assert r["speedup_float32"] >= MIN_SPEEDUP_F32, (name, r)
+    # The obs contract: not measuring must be (near-)free.
+    assert overhead["disabled_overhead"] < METRICS_DISABLED_OVERHEAD_BOUND, overhead

@@ -77,6 +77,46 @@ class StreamingStats:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Fold another accumulator's observations into this one.
+
+        Moments combine with Chan's parallel Welford update; the two
+        systematic samples are concatenated and stride-decimated back
+        under ``max_samples``.  Like :meth:`add`, this is deterministic
+        (no RNG) and keeps every retained sample a real observation, so
+        quantile estimates stay inside ``[min, max]``.  Merging an
+        empty accumulator is the identity.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self._samples = list(other._samples)
+            self._stride = other._stride
+            self._phase = other._phase
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        samples = self._samples + other._samples
+        self._stride = max(self._stride, other._stride)
+        self._phase = 0
+        while len(samples) >= self.max_samples:
+            del samples[::2]
+            self._stride *= 2
+        self._samples = samples
+        return self
+
     # ------------------------------------------------------------------
     @property
     def variance(self) -> float:
@@ -113,7 +153,10 @@ class StreamingStats:
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
         frac = position - low
-        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+        estimate = ordered[low] * (1.0 - frac) + ordered[high] * frac
+        # Interpolation can round one ULP past the neighbours it mixes;
+        # a quantile must never leave the observed range.
+        return min(max(estimate, self.min), self.max)
 
     def summary(self) -> dict[str, float]:
         """Plain-dict snapshot for reports and JSON results."""

@@ -8,6 +8,7 @@ Exposes the Figure 3 workflow without writing Python::
     python -m repro runs     submit --spec sweep.json --out runs/
     python -m repro runs     status --out runs/
     python -m repro models   ls --registry runs/models
+    python -m repro obs      show runs/<run_id>/manifest.json
     python -m repro info
 
 ``simulate`` runs full fidelity and prints workload statistics (with
@@ -62,6 +63,30 @@ def _experiment_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="export observability metrics (spans, counters, histograms, "
+        "sim-time probe samples) as JSONL to this file",
+    )
+
+
+def _metrics_from_args(args: argparse.Namespace):
+    """An enabled registry iff ``--metrics-out`` was given, else None."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry(enabled=True)
+
+
+def _export_metrics(args: argparse.Namespace, metrics) -> None:
+    if metrics is None:
+        return
+    rows = metrics.write_jsonl(args.metrics_out)
+    print(f"wrote {rows} metrics records to {args.metrics_out}")
+
+
 def _print_run(result: RunResult, title: str) -> None:
     rows = [
         ["simulated (ms)", result.sim_seconds * 1e3],
@@ -99,6 +124,7 @@ def _print_run(result: RunResult, title: str) -> None:
 # ----------------------------------------------------------------------
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _experiment_from_args(args)
+    metrics = _metrics_from_args(args)
     if args.trace_csv:
         # Build manually so the tracer attaches before traffic starts.
         from repro.des.kernel import Simulator
@@ -109,9 +135,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         topology = build_clos(config.clos)
         sim = Simulator(seed=config.seed)
+        if metrics is not None:
+            from repro.obs import attach_network_probes, default_period
+
+            sim.metrics = metrics
         network = Network(sim, topology, config=config.net)
         tracer = PacketTracer(network)
         generator = make_generator(sim, network, config)
+        if metrics is not None:
+            attach_network_probes(
+                metrics, sim, network, default_period(config.duration_s)
+            )
         generator.start()
         sim.run(until=config.duration_s)
         count = tracer.write_csv(args.trace_csv)
@@ -128,8 +162,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             fcts=generator.completed_fcts(),
         )
     else:
-        result = run_full_simulation(config).result
+        result = run_full_simulation(config, metrics=metrics).result
     _print_run(result, f"full simulation: {args.clusters} clusters @ {args.load:.0%}")
+    _export_metrics(args, metrics)
     return 0
 
 
@@ -149,12 +184,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"training on a {args.clusters}-cluster full simulation "
         f"({config.duration_s * 1e3:.0f} ms @ {config.load:.0%} load)..."
     )
-    trained, full_output = train_reusable_model(config, micro=micro)
+    metrics = _metrics_from_args(args)
+    trained, full_output = train_reusable_model(config, micro=micro, metrics=metrics)
     trained.save(args.output)
     rows = [[key, value] for key, value in sorted(trained.training_summary.items())]
     print(format_table(["training metric", "value"], rows))
     print(f"saved model bundle to {args.output}")
     _print_run(full_output.result, "ground-truth run")
+    _export_metrics(args, metrics)
     return 0
 
 
@@ -170,9 +207,13 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
         elide_remote_traffic=not args.keep_remote_traffic,
         single_black_box=args.single_black_box,
     )
-    result, _ = run_hybrid_simulation(config, trained, hybrid=hybrid_config)
+    metrics = _metrics_from_args(args)
+    result, _ = run_hybrid_simulation(
+        config, trained, hybrid=hybrid_config, metrics=metrics
+    )
     mode = "single-black-box" if args.single_black_box else "per-cluster"
     _print_run(result, f"hybrid simulation ({mode}): {args.clusters} clusters")
+    _export_metrics(args, metrics)
     return 0
 
 
@@ -357,6 +398,84 @@ def _cmd_models_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_labels(labels: Optional[dict]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted((labels or {}).items())) or "-"
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.runs import RunManifest
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (OSError, _json.JSONDecodeError, TypeError, KeyError) as error:
+        print(f"error: cannot load manifest: {error}", file=sys.stderr)
+        return 2
+    snap = manifest.metrics
+    if snap is None:
+        print(f"run {manifest.run_id}: no observability snapshot in this manifest")
+        return 1
+    if not snap.get("enabled", False):
+        print(f"run {manifest.run_id}: metrics were disabled for this run")
+        return 0
+    print(
+        f"== observability: run {manifest.run_id} "
+        f"({manifest.stage}, {manifest.status}) =="
+    )
+    spans = snap.get("spans", [])
+    if spans:
+        rows = []
+        for span in spans:
+            s = span["summary"]
+            rows.append([
+                span["name"], _format_labels(span.get("labels")),
+                int(s["count"]), int(s["errors"]),
+                f"{s['total_s']:.4f}",
+                f"{s.get('seconds_mean', 0.0):.2e}" if s["count"] else "-",
+            ])
+        print(format_table(
+            ["span", "labels", "count", "errors", "total (s)", "mean (s)"], rows
+        ))
+    counters = snap.get("counters", [])
+    if counters:
+        rows = [
+            [c["name"], _format_labels(c.get("labels")), c["value"]]
+            for c in counters
+        ]
+        print(format_table(["counter", "labels", "value"], rows))
+    gauges = snap.get("gauges", [])
+    if gauges:
+        rows = [
+            [g["name"], _format_labels(g.get("labels")), g["value"]]
+            for g in gauges
+        ]
+        print(format_table(["gauge", "labels", "value"], rows))
+    histograms = snap.get("histograms", [])
+    if histograms:
+        rows = []
+        for hist in histograms:
+            s = hist["summary"]
+            count = int(s.get("count", 0))
+            rows.append([
+                hist["name"], _format_labels(hist.get("labels")), count,
+                f"{s['mean']:.3e}" if count else "-",
+                f"{s['p50']:.3e}" if count else "-",
+                f"{s['p99']:.3e}" if count else "-",
+                f"{s['max']:.3e}" if count else "-",
+            ])
+        print(format_table(
+            ["histogram", "labels", "count", "mean", "p50", "p99", "max"], rows
+        ))
+    probes = snap.get("probes", {})
+    samples = probes.get("samples", [])
+    print(
+        f"probe samples: {len(samples)} retained, "
+        f"{probes.get('dropped', 0)} dropped"
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print(
@@ -388,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--trace-csv", default=None, help="write a raw packet/event trace CSV here"
     )
+    _add_metrics_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     train = commands.add_parser("train", help="train a reusable cluster model")
@@ -400,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--window", type=int, default=16, help="BPTT window length")
     train.add_argument("--batches", type=int, default=300, help="SGD steps")
     train.add_argument("--learning-rate", type=float, default=3e-3)
+    _add_metrics_argument(train)
     train.set_defaults(handler=_cmd_train)
 
     hybrid = commands.add_parser("hybrid", help="run an approximate simulation")
@@ -414,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--single-black-box", action="store_true",
         help="replace everything outside the full cluster with one model (Section 7)",
     )
+    _add_metrics_argument(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
 
     evaluate = commands.add_parser(
@@ -496,6 +618,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true", help="report victims without deleting"
     )
     models_gc.set_defaults(handler=_cmd_models_gc)
+
+    obs = commands.add_parser(
+        "obs", help="observability: inspect a run's metrics snapshot"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_show = obs_commands.add_parser(
+        "show", help="pretty-print the metrics snapshot of a run manifest"
+    )
+    obs_show.add_argument(
+        "manifest", help="path to a manifest.json (or the run directory holding one)"
+    )
+    obs_show.set_defaults(handler=_cmd_obs_show)
 
     info = commands.add_parser("info", help="version and model feature list")
     info.set_defaults(handler=_cmd_info)

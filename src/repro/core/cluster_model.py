@@ -106,6 +106,12 @@ class ApproximatedCluster(Entity):
         Engine precision: ``float64`` (default, matches the reference
         to <= 1e-9) or ``float32`` (opt-in speed mode — halves weight
         memory traffic at reduced precision).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Instrument
+        handles are resolved once here, at construction, so the per-
+        packet cost is a single ``is not None`` branch when metrics
+        are absent or disabled — the hot path never does a registry
+        lookup.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class ApproximatedCluster(Entity):
         macro_bucket_s: float = 0.001,
         use_fused: bool = True,
         inference_dtype: str | np.dtype = np.float64,
+        metrics=None,
     ) -> None:
         if isinstance(region, int):
             region = Region.cluster(topology, region)
@@ -166,6 +173,40 @@ class ApproximatedCluster(Entity):
         self.inference_seconds = 0.0
         self.latency_stats = StreamingStats()
 
+        # Observability handles (resolved once; None == disabled).
+        self._m_infer = None
+        self._m_latency = None
+        self._m_drops = None
+        self._m_conflicts = None
+        if metrics is not None and metrics.handles_enabled():
+            cluster = self.region.name
+            self._m_infer = metrics.histogram(
+                "hybrid.inference_seconds", cluster=cluster
+            )
+            self._m_latency = metrics.histogram(
+                "hybrid.predicted_latency_s", cluster=cluster
+            )
+            self._m_drops = metrics.counter("hybrid.model_drops", cluster=cluster)
+            self._m_conflicts = metrics.counter(
+                "hybrid.conflicts_resolved", cluster=cluster
+            )
+            transitions = metrics.counter("hybrid.macro_transitions", cluster=cluster)
+            by_edge = {}
+
+            def on_transition(before, after, _t=transitions, _m=metrics, _b=by_edge, _c=cluster):
+                _t.inc()
+                edge = _b.get((before, after))
+                if edge is None:
+                    edge = _b[(before, after)] = _m.counter(
+                        "hybrid.macro_transition",
+                        cluster=_c,
+                        src=before.name,
+                        dst=after.name,
+                    )
+                edge.inc()
+
+            self.macro.on_transition = on_transition
+
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, from_node: str) -> None:
         """Handle one packet crossing into the approximated region."""
@@ -188,24 +229,31 @@ class ApproximatedCluster(Entity):
             drop_prob, latency_norm = self._engines[direction].predict(
                 features, macro_index=macro_index
             )
-            self.inference_seconds += perf_counter() - start
+            elapsed = perf_counter() - start
         else:
             start = perf_counter()
             normalized = bundle.feature_standardizer.transform(features)
             drop_prob, latency_norm, new_state = bundle.model.predict_step(
                 normalized, self._states[direction], macro_index=macro_index
             )
-            self.inference_seconds += perf_counter() - start
+            elapsed = perf_counter() - start
             self._states[direction] = new_state
+        self.inference_seconds += elapsed
+        if self._m_infer is not None:
+            self._m_infer.observe(elapsed)
 
         if self.rng.random() < drop_prob:
             self.packets_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             self.macro.observe(now, dropped=True)
             return
 
         latency = bundle.latency_from_norm(latency_norm)
         latency = min(max(latency, MIN_REGION_LATENCY_S), MAX_REGION_LATENCY_S)
         self.latency_stats.add(latency)
+        if self._m_latency is not None:
+            self._m_latency.observe(latency)
         self.macro.observe(now, latency_s=latency)
 
         target = self._egress_node(packet, direction)
@@ -259,6 +307,8 @@ class ApproximatedCluster(Entity):
         if last is not None and deliver_at < last + serialization:
             deliver_at = last + serialization
             self.conflicts_resolved += 1
+            if self._m_conflicts is not None:
+                self._m_conflicts.inc()
         self._last_delivery[target] = deliver_at
         return deliver_at
 

@@ -111,11 +111,19 @@ class HybridSimulation:
         trained: Union[TrainedClusterModel, Mapping[int, TrainedClusterModel]],
         net_config: Optional[NetworkConfig] = None,
         config: Optional[HybridConfig] = None,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.trained = trained
         self.config = config or HybridConfig()
+        #: Optional :class:`~repro.obs.MetricsRegistry`; handed to every
+        #: approximated cluster (per-packet instrument handles resolve
+        #: there, at construction) and installed on the kernel so the
+        #: event loop is span-profiled under the same registry.
+        self.metrics = metrics
+        if metrics is not None:
+            sim.metrics = metrics
         net_config = net_config or NetworkConfig()
 
         cluster_ids = topology.cluster_ids()
@@ -149,6 +157,7 @@ class HybridSimulation:
                 macro_bucket_s=self.config.macro_bucket_s,
                 use_fused=self.config.use_fused_inference,
                 inference_dtype=self.config.inference_dtype,
+                metrics=metrics,
             )
             self.models[BLACK_BOX_KEY] = model
             for name in region.switches:
@@ -173,6 +182,7 @@ class HybridSimulation:
                     macro_bucket_s=self.config.macro_bucket_s,
                     use_fused=self.config.use_fused_inference,
                     inference_dtype=self.config.inference_dtype,
+                    metrics=metrics,
                 )
                 self.models[cluster] = model
                 for node in topology.cluster_nodes(cluster):
@@ -236,7 +246,11 @@ class HybridSimulation:
         ----------
         wallclock_s:
             Total run wall-clock; when given, the share of it spent in
-            inference and the packet throughput are included.
+            inference and the packet throughput are included.  Every
+            ratio is guarded against zero packets / zero wall-clock
+            (degenerate but reachable: an empty workload, a crashed
+            attempt) so manifests never carry ``inf``/``NaN`` — both
+            are invalid JSON.
         """
         packets = self.model_packets_handled()
         inference = self.inference_seconds()
@@ -246,9 +260,10 @@ class HybridSimulation:
             "inference_seconds": inference,
             "inference_seconds_per_packet": inference / packets if packets else 0.0,
         }
-        if wallclock_s is not None and wallclock_s > 0:
-            counters["inference_share"] = inference / wallclock_s
-            counters["model_packets_per_sec"] = packets / wallclock_s
+        if wallclock_s is not None:
+            positive = wallclock_s > 0
+            counters["inference_share"] = inference / wallclock_s if positive else 0.0
+            counters["model_packets_per_sec"] = packets / wallclock_s if positive else 0.0
         return counters
 
     def observed_rtt_samples(self) -> list[float]:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -114,6 +114,15 @@ class AutoRegressiveMacroClassifier:
         scaled down with our shorter simulations.
     ema_alpha:
         Smoothing factor for the latency/drop EMAs.
+
+    Attributes
+    ----------
+    on_transition:
+        Optional hook ``(previous, new) -> None`` fired whenever a
+        bucket re-classification lands on a *different* state.  The
+        observability layer counts regime transitions through it;
+        ``None`` (default) costs one comparison per bucket, nothing
+        per packet.
     """
 
     def __init__(
@@ -130,6 +139,9 @@ class AutoRegressiveMacroClassifier:
         self.bucket_s = bucket_s
         self.ema_alpha = ema_alpha
         self.state = MacroState.MINIMAL
+        self.on_transition: Optional[
+            "Callable[[MacroState, MacroState], None]"
+        ] = None
         self._latency_ema: Optional[float] = None
         self._prev_latency_ema: Optional[float] = None
         self._drop_ema = 0.0
@@ -158,19 +170,24 @@ class AutoRegressiveMacroClassifier:
 
     def _reclassify(self) -> None:
         latency = self._latency_ema
+        before = self.state
         if latency is None:
             self.state = MacroState.MINIMAL
-            return
-        previous = self._prev_latency_ema if self._prev_latency_ema is not None else latency
-        self._prev_latency_ema = latency
-        if self._drop_ema >= self.calibration.drop_rate_high:
-            self.state = MacroState.HIGH
-        elif latency <= self.calibration.latency_low_s:
-            self.state = MacroState.MINIMAL
-        elif latency >= previous:
-            self.state = MacroState.INCREASING
         else:
-            self.state = MacroState.DECREASING
+            previous = (
+                self._prev_latency_ema if self._prev_latency_ema is not None else latency
+            )
+            self._prev_latency_ema = latency
+            if self._drop_ema >= self.calibration.drop_rate_high:
+                self.state = MacroState.HIGH
+            elif latency <= self.calibration.latency_low_s:
+                self.state = MacroState.MINIMAL
+            elif latency >= previous:
+                self.state = MacroState.INCREASING
+            else:
+                self.state = MacroState.DECREASING
+        if self.state is not before and self.on_transition is not None:
+            self.on_transition(before, self.state)
 
     @property
     def latency_ema(self) -> Optional[float]:

@@ -114,10 +114,22 @@ class RunResult:
 
     @property
     def sim_seconds_per_second(self) -> float:
-        """Simulated seconds per wall-clock second (Figure 1's metric)."""
+        """Simulated seconds per wall-clock second (Figure 1's metric).
+
+        Zero wall-clock (degenerate but reachable: empty workload, a
+        mocked clock) yields 0.0, never ``inf`` — results get JSON-
+        serialized into manifests and ``inf`` is not valid JSON.
+        """
         if self.wallclock_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.sim_seconds / self.wallclock_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Executed events per wall-clock second (zero-guarded)."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.events_executed / self.wallclock_seconds
 
     @property
     def inference_share(self) -> float:
@@ -189,6 +201,8 @@ def run_full_simulation(
     config: ExperimentConfig,
     collect_cluster: Optional[int | Region] = None,
     observe_cluster: int = 0,
+    metrics=None,
+    probe_period_s: Optional[float] = None,
 ) -> FullRunOutput:
     """Stage 1: full packet-level simulation.
 
@@ -201,9 +215,20 @@ def run_full_simulation(
         (e.g. ``Region.rest_of_network``) selects other boundaries.
     observe_cluster:
         Whose hosts' RTT samples to report (Figure 4 population).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Installs the
+        ``des.run`` span on the kernel and attaches sim-time queue
+        probes; probes are ordinary kernel events and draw no
+        randomness, so seeded runs are byte-identical with or without
+        them.
+    probe_period_s:
+        Simulated-time sampling period for the probes; defaults to
+        ``duration_s / 50`` (:func:`repro.obs.default_period`).
     """
     topology = build_clos(config.clos)
     sim = Simulator(seed=config.seed)
+    if metrics is not None:
+        sim.metrics = metrics
     network = Network(sim, topology, config=config.net)
     collector = None
     extractor = None
@@ -211,6 +236,11 @@ def run_full_simulation(
         collector = RegionTraceCollector(network, collect_cluster)
         extractor = RegionFeatureExtractor(topology, network.routing, collect_cluster)
     generator = make_generator(sim, network, config)
+    if metrics is not None:
+        from repro.obs import attach_network_probes, default_period
+
+        period = probe_period_s or default_period(config.duration_s)
+        attach_network_probes(metrics, sim, network, period)
     generator.start()
     sim.run(until=config.duration_s)
 
@@ -233,22 +263,30 @@ def train_reusable_model(
     config: ExperimentConfig,
     micro: Optional[MicroModelConfig] = None,
     collect_cluster: int | Region = 1,
+    metrics=None,
 ) -> tuple[TrainedClusterModel, FullRunOutput]:
     """Stage 1 + 2: simulate small, train the cluster model.
 
     The paper trains on a two-cluster simulation and replaces one of
     them (Figure 3); ``config.clos.clusters`` should normally be 2.
     Returns the trained bundle and the training run (whose RTT samples
-    serve as the ground-truth side of accuracy comparisons).
+    serve as the ground-truth side of accuracy comparisons).  With
+    ``metrics``, the collection run is probe-instrumented and training
+    batches are span-profiled (``train.batch`` plus loss / grad-norm /
+    examples-per-second histograms, labeled by direction).
     """
-    output = run_full_simulation(config, collect_cluster=collect_cluster)
+    output = run_full_simulation(
+        config, collect_cluster=collect_cluster, metrics=metrics
+    )
     if not output.records:
         raise ValueError(
             "training simulation produced no region crossings; "
             "increase duration_s or load"
         )
     assert output.extractor is not None
-    trained = train_cluster_model(output.records, output.extractor, config=micro)
+    trained = train_cluster_model(
+        output.records, output.extractor, config=micro, metrics=metrics
+    )
     return trained, output
 
 
@@ -256,21 +294,31 @@ def run_hybrid_simulation(
     config: ExperimentConfig,
     trained: TrainedClusterModel,
     hybrid: Optional[HybridConfig] = None,
+    metrics=None,
+    probe_period_s: Optional[float] = None,
 ) -> tuple[RunResult, HybridSimulation]:
     """Stage 3: the approximate simulation.
 
     The workload generator draws from the same seed and distributions
     as the full run; flows not touching the full-fidelity cluster are
-    elided per the hybrid configuration.
+    elided per the hybrid configuration.  With ``metrics``, the
+    approximated clusters publish per-packet inference / latency /
+    drop instruments and sim-time probes sample queue depths, macro
+    states, and per-cluster drop rates every ``probe_period_s``.
     """
     topology = build_clos(config.clos)
     sim = Simulator(seed=config.seed)
     hybrid_sim = HybridSimulation(
-        sim, topology, trained, net_config=config.net, config=hybrid
+        sim, topology, trained, net_config=config.net, config=hybrid, metrics=metrics
     )
     generator = make_generator(
         sim, hybrid_sim.network, config, flow_filter=hybrid_sim.flow_filter
     )
+    if metrics is not None:
+        from repro.obs import attach_hybrid_probes, default_period
+
+        period = probe_period_s or default_period(config.duration_s)
+        attach_hybrid_probes(metrics, sim, hybrid_sim, period)
     generator.start()
     sim.run(until=config.duration_s)
 

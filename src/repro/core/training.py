@@ -295,6 +295,8 @@ def train_micro_model(
     data: TrainingData,
     config: MicroModelConfig,
     rng: Optional[np.random.Generator] = None,
+    metrics=None,
+    direction_label: str = "all",
 ) -> tuple[MicroModel, list[JointLossParts]]:
     """Train one directional micro model.
 
@@ -302,6 +304,11 @@ def train_micro_model(
     ``config.train_batches`` optimizer steps have been taken, exactly
     the paper's recipe (SGD, lr 1e-4, momentum 0.9, batch 64, joint
     loss with drop-masked latency term).
+
+    When ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) is given,
+    every optimizer step is timed under a ``train.batch`` span and the
+    loss, pre-clip gradient norm, and examples/second land in labeled
+    histograms — the training-side half of the observability layer.
     """
     if data.windows_x.shape[0] == 0:
         raise ValueError(
@@ -322,21 +329,46 @@ def train_micro_model(
     )
     loss_fn = JointDropLatencyLoss(alpha=config.alpha)
     history: list[JointLossParts] = []
+    instrumented = metrics is not None and metrics.handles_enabled()
+    if instrumented:
+        batch_span = metrics.span("train.batch", direction=direction_label)
+        m_loss = metrics.histogram("train.loss", direction=direction_label)
+        m_grad = metrics.histogram("train.grad_norm", direction=direction_label)
+        m_rate = metrics.histogram("train.examples_per_sec", direction=direction_label)
+        prev_total = batch_span.total_s
     steps = 0
     while steps < config.train_batches:
         batches = BatchIterator(data.windows_x, data.windows_y, config.batch_size, rng)
         for xb, yb in batches:
             macro_idx = yb[..., 2].astype(np.intp) if per_macro else None
-            drop_logits, latency_pred = model.forward(xb, macro_index=macro_idx)
-            parts = loss_fn.forward(
-                drop_logits, latency_pred, yb[..., 0], yb[..., 1]
-            )
+            if instrumented:
+                with batch_span:
+                    drop_logits, latency_pred = model.forward(xb, macro_index=macro_idx)
+                    parts = loss_fn.forward(
+                        drop_logits, latency_pred, yb[..., 0], yb[..., 1]
+                    )
+                    model.zero_grad()
+                    grad_drop, grad_latency = loss_fn.backward()
+                    model.backward(grad_drop, grad_latency)
+                    grad_norm = clip_gradients(model.parameters(), config.grad_clip)
+                    optimizer.step()
+                m_loss.observe(parts.total)
+                m_grad.observe(grad_norm)
+                batch_s = batch_span.total_s - prev_total
+                prev_total = batch_span.total_s
+                if batch_s > 0:
+                    m_rate.observe(xb.shape[0] * xb.shape[1] / batch_s)
+            else:
+                drop_logits, latency_pred = model.forward(xb, macro_index=macro_idx)
+                parts = loss_fn.forward(
+                    drop_logits, latency_pred, yb[..., 0], yb[..., 1]
+                )
+                model.zero_grad()
+                grad_drop, grad_latency = loss_fn.backward()
+                model.backward(grad_drop, grad_latency)
+                clip_gradients(model.parameters(), config.grad_clip)
+                optimizer.step()
             history.append(parts)
-            model.zero_grad()
-            grad_drop, grad_latency = loss_fn.backward()
-            model.backward(grad_drop, grad_latency)
-            clip_gradients(model.parameters(), config.grad_clip)
-            optimizer.step()
             steps += 1
             if steps >= config.train_batches:
                 break
@@ -518,6 +550,7 @@ def train_cluster_model(
     extractor: RegionFeatureExtractor,
     config: Optional[MicroModelConfig] = None,
     macro_bucket_s: float = 0.001,
+    metrics=None,
 ) -> TrainedClusterModel:
     """End-to-end: crossings -> datasets -> two trained directional models."""
     config = config or MicroModelConfig()
@@ -530,7 +563,9 @@ def train_cluster_model(
         data = standardize_and_window(dataset, config.window)
         seed_offset = 0 if direction is Direction.INGRESS else 1
         rng = np.random.default_rng(config.seed + seed_offset)
-        model, history = train_micro_model(data, config, rng)
+        model, history = train_micro_model(
+            data, config, rng, metrics=metrics, direction_label=direction.value
+        )
         directions[direction] = DirectionModel(
             model=model,
             feature_standardizer=data.feature_standardizer,

@@ -151,6 +151,13 @@ class Simulator:
         self.events_cancelled = 0
         self._wallclock_start: Optional[float] = None
         self.wallclock_elapsed: float = 0.0
+        #: Optional observability registry (``repro.obs``).  When set,
+        #: each :meth:`run` is timed under a ``des.run`` span and event
+        #: totals are published as gauges on exit.  Duck-typed (any
+        #: object with ``span``/``gauge``) so the kernel stays free of
+        #: upward imports; ``None`` costs one branch per run, not per
+        #: event.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -211,6 +218,9 @@ class Simulator:
         self._stopped = False
         self._wallclock_start = _wallclock.perf_counter()
         executed_this_run = 0
+        span = self.metrics.span("des.run") if self.metrics is not None else None
+        if span is not None:
+            span.__enter__()
         try:
             while not self._stopped:
                 if max_events is not None and executed_this_run >= max_events:
@@ -240,6 +250,14 @@ class Simulator:
             self.wallclock_elapsed += _wallclock.perf_counter() - self._wallclock_start
             self._wallclock_start = None
             self._running = False
+            if span is not None:
+                span.__exit__(None, None, None)
+                metrics = self.metrics
+                metrics.counter("des.events_executed_in_runs").inc(executed_this_run)
+                metrics.gauge("des.events_executed").set(self.events_executed)
+                metrics.gauge("des.events_scheduled").set(self.events_scheduled)
+                metrics.gauge("des.events_cancelled").set(self.events_cancelled)
+                metrics.gauge("des.sim_time_s").set(self.now)
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""

@@ -1,0 +1,45 @@
+"""Unified observability: metrics registry, span profiling, sim-time probes.
+
+One :class:`MetricsRegistry` per run collects everything the repo used
+to scatter across ad-hoc counters: labeled counters/gauges, bounded
+histograms (:class:`~repro.analysis.streaming.StreamingStats` backend),
+wall-clock :class:`Span` profiling of the DES event loop, trainer
+batches, hybrid inference, and sweep dispatch, plus simulated-time
+probes of queue depths, macro states, and per-cluster model health.
+
+Snapshots embed in run manifests; ``write_jsonl`` exports the full
+stream (``repro ... --metrics-out metrics.jsonl``); ``repro obs show``
+pretty-prints either.
+"""
+
+from repro.obs.probes import (
+    DEFAULT_TICKS,
+    SimTimeProbes,
+    attach_hybrid_probes,
+    attach_network_probes,
+    default_period,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProbeSample,
+    Span,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeSample",
+    "Span",
+    "SimTimeProbes",
+    "DEFAULT_TICKS",
+    "attach_hybrid_probes",
+    "attach_network_probes",
+    "default_period",
+    "read_jsonl",
+]

@@ -1,0 +1,161 @@
+"""Sim-time probes: periodic samplers driven by the DES kernel itself.
+
+Wall-clock spans answer "where does the *time* go"; probes answer
+"where does the *approximation* go" — they sample simulation state
+(queue depths, macro regimes, per-cluster drop rates and latency) on a
+configurable *simulated*-time period, so the samples line up with the
+event timeline rather than with the host's scheduler.  That is exactly
+the view the paper's fidelity argument needs (Section 3.3's macro-state
+regimes and drop/latency accuracy are all functions of simulated time).
+
+A probe tick is an ordinary kernel event: samples are emitted in event
+order, interleaved deterministically with the traffic they observe, and
+a probe never draws from any random stream — adding one cannot perturb
+a seeded run's packet schedule (the same invariant ``StreamingStats``
+keeps for the hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: Default number of probe ticks across a run when no period is given.
+DEFAULT_TICKS = 50
+
+
+class SimTimeProbes:
+    """A set of named samplers fired on a fixed simulated-time period.
+
+    Parameters
+    ----------
+    registry:
+        Destination for samples (each also feeds a ``probe.<name>``
+        histogram, so manifests get distribution summaries even when
+        the bounded raw-sample stream overflows).
+    sim:
+        The simulator whose clock drives the ticks.
+    period_s:
+        Simulated seconds between ticks.
+
+    Samplers are zero-argument callables returning a float; register
+    them with :meth:`add` before :meth:`start`.  Ticks self-reschedule
+    until :meth:`stop` (or until the simulator runs dry).
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, sim, period_s: float
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"probe period_s must be positive, got {period_s}")
+        self.registry = registry
+        self.sim = sim
+        self.period_s = period_s
+        self.ticks = 0
+        self._samplers: list[tuple[str, Callable[[], float], dict[str, Any]]] = []
+        self._event = None
+        self._stopped = False
+
+    def add(self, name: str, fn: Callable[[], float], **labels: Any) -> "SimTimeProbes":
+        """Register one sampler under ``probe.<name>`` (chainable)."""
+        self._samplers.append((name, fn, labels))
+        return self
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SimTimeProbes":
+        """Schedule the first tick one period from now."""
+        if self.registry.enabled and self._samplers:
+            self._event = self.sim.schedule(self.period_s, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Cancel future ticks (already-recorded samples are kept)."""
+        self._stopped = True
+        if self._event is not None and self._event.pending:
+            self.sim.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        self.ticks += 1
+        registry = self.registry
+        for name, fn, labels in self._samplers:
+            value = float(fn())
+            registry.record_probe(now, name, value, **labels)
+            registry.histogram(f"probe.{name}", **labels).observe(value)
+        if not self._stopped:
+            self._event = self.sim.schedule(self.period_s, self._tick)
+
+
+# ----------------------------------------------------------------------
+# Standard probe sets
+# ----------------------------------------------------------------------
+def default_period(duration_s: float, ticks: int = DEFAULT_TICKS) -> float:
+    """A probe period giving ~``ticks`` samples over ``duration_s``."""
+    return max(duration_s / ticks, 1e-9)
+
+
+def attach_network_probes(
+    registry: MetricsRegistry,
+    sim,
+    network,
+    period_s: float,
+) -> Optional[SimTimeProbes]:
+    """Queue-depth probes for any (full or hybrid) network.
+
+    Samples total queued bytes across all ports plus the single
+    deepest port — the congestion picture at simulated-time
+    resolution.  Returns the started probe set (None when disabled).
+    """
+    if not registry.enabled:
+        return None
+    ports = list(network.ports().values())
+    probes = SimTimeProbes(registry, sim, period_s)
+    probes.add("queue_depth_bytes", network.total_queued_bytes)
+    probes.add(
+        "queue_depth_max_bytes",
+        lambda: max((port.queued_bytes for port in ports), default=0),
+    )
+    return probes.start()
+
+
+def attach_hybrid_probes(
+    registry: MetricsRegistry,
+    sim,
+    hybrid_sim,
+    period_s: float,
+) -> Optional[SimTimeProbes]:
+    """The hybrid observability set: queues + per-cluster model health.
+
+    Per approximated cluster, samples the macro state, the cumulative
+    drop rate of model decisions, and the mean predicted region
+    latency — the quantities a fidelity postmortem localizes error
+    with (which cluster, which regime, drops or latency).
+    """
+    if not registry.enabled:
+        return None
+    probes = SimTimeProbes(registry, sim, period_s)
+    network = hybrid_sim.network
+    ports = list(network.ports().values())
+    probes.add("queue_depth_bytes", network.total_queued_bytes)
+    probes.add(
+        "queue_depth_max_bytes",
+        lambda: max((port.queued_bytes for port in ports), default=0),
+    )
+    for cluster, model in hybrid_sim.models.items():
+        labels = {"cluster": cluster}
+        probes.add("macro_state", lambda m=model: m.macro.state.value, **labels)
+        probes.add(
+            "model_drop_rate",
+            lambda m=model: (m.packets_dropped / m.packets_handled)
+            if m.packets_handled
+            else 0.0,
+            **labels,
+        )
+        probes.add(
+            "model_latency_mean_s",
+            lambda m=model: m.latency_stats.mean if m.latency_stats.count else 0.0,
+            **labels,
+        )
+    return probes.start()

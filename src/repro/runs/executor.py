@@ -31,6 +31,7 @@ from repro.core.pipeline import (
     run_full_simulation,
     run_hybrid_simulation,
 )
+from repro.obs import MetricsRegistry
 from repro.runs.fingerprint import experiment_hash, experiment_payload
 from repro.runs.manifest import RunManifest
 from repro.runs.registry import ModelRegistry, RegistryLookup
@@ -57,6 +58,7 @@ def _summarize_result(result: RunResult) -> dict[str, Any]:
         "wallclock_seconds": result.wallclock_seconds,
         "sim_seconds_per_second": result.sim_seconds_per_second,
         "events_executed": result.events_executed,
+        "events_per_second": result.events_per_second,
         "flows_started": result.flows_started,
         "flows_completed": result.flows_completed,
         "flows_elided": result.flows_elided,
@@ -93,7 +95,9 @@ def _resolve_model(
 
 
 def _run_stage(
-    request: RunRequest, registry_root: Optional[str]
+    request: RunRequest,
+    registry_root: Optional[str],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> tuple[dict[str, Any], dict[str, float], Optional[dict[str, Any]]]:
     """Execute the stage; returns (result, hot_path_counters, model_info)."""
     model_info: Optional[dict[str, Any]] = None
@@ -114,7 +118,8 @@ def _run_stage(
         if request.stage == "hybrid":
             hybrid_config = HybridConfig(**request.hybrid)
             result, hybrid_sim = run_hybrid_simulation(
-                request.experiment, lookup.model, hybrid=hybrid_config
+                request.experiment, lookup.model, hybrid=hybrid_config,
+                metrics=metrics,
             )
             counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
             return _summarize_result(result), counters, model_info
@@ -124,7 +129,9 @@ def _run_stage(
         from repro.core.features import RegionFeatureExtractor
 
         region_cluster = 1
-        output = run_full_simulation(request.experiment, collect_cluster=region_cluster)
+        output = run_full_simulation(
+            request.experiment, collect_cluster=region_cluster, metrics=metrics
+        )
         if not output.records:
             raise ValueError(
                 "evaluation trace is empty; increase duration_s or load"
@@ -151,7 +158,7 @@ def _run_stage(
         return result_dict, dict(_ZERO_COUNTERS), model_info
 
     # simulate: full packet-level fidelity, no model involved.
-    output = run_full_simulation(request.experiment)
+    output = run_full_simulation(request.experiment, metrics=metrics)
     return _summarize_result(output.result), dict(_ZERO_COUNTERS), None
 
 
@@ -178,9 +185,12 @@ def execute_run(
         started_at=started,
     )
     manifest.save(run_dir)
+    metrics = MetricsRegistry(enabled=True)
     try:
         _apply_injections(request, attempt)
-        result, counters, model_info = _run_stage(request, registry_root)
+        result, counters, model_info = _run_stage(
+            request, registry_root, metrics=metrics
+        )
         manifest.status = "completed"
         manifest.result = result
         manifest.hot_path_counters = counters
@@ -195,6 +205,15 @@ def execute_run(
             "message": str(error),
             "traceback": traceback.format_exc(),
         }
+    # The observability snapshot rides in the manifest either way — on
+    # failure it is the flight recorder (how far did the span tree get).
+    manifest.metrics = metrics.snapshot()
+    try:
+        metrics_path = run_dir / "metrics.jsonl"
+        metrics.write_jsonl(metrics_path)
+        manifest.artifacts["metrics"] = str(metrics_path)
+    except OSError:
+        pass  # a full disk must not turn a completed run into a failed one
     manifest.finished_at = time.time()
     manifest.wallclock_seconds = manifest.finished_at - started
     manifest.save(run_dir)

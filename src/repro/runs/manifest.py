@@ -85,6 +85,10 @@ class RunManifest:
     wallclock_seconds: Optional[float] = None
     result: Optional[dict[str, Any]] = None
     hot_path_counters: Optional[dict[str, float]] = None
+    #: Observability snapshot (``MetricsRegistry.snapshot()``): span
+    #: timings, counters, histogram summaries, probe totals.  Absent in
+    #: manifests from before the obs layer; ``from_dict`` defaults it.
+    metrics: Optional[dict[str, Any]] = None
     model: Optional[dict[str, Any]] = None
     error: Optional[dict[str, str]] = None
     artifacts: dict[str, str] = field(default_factory=dict)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.obs import MetricsRegistry
 from repro.runs.executor import execute_run
 from repro.runs.fingerprint import model_fingerprint
 from repro.runs.manifest import RunManifest, summarize_statuses
@@ -90,10 +91,16 @@ class SweepScheduler:
         out_dir: str | Path,
         registry_root: Optional[str | Path] = None,
         config: Optional[SchedulerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.config = config or SchedulerConfig()
+        #: Scheduler-side observability (dispatch latency, retry and
+        #: timeout counts).  Workers keep their own per-run registries;
+        #: this one watches the orchestration.  Disabled by default —
+        #: every span/counter then resolves to a shared no-op.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         if registry_root is None and spec.stage in ("train", "hybrid", "evaluate"):
             registry_root = self.out_dir / "models"
         self.registry_root = Path(registry_root) if registry_root is not None else None
@@ -104,18 +111,19 @@ class SweepScheduler:
     # ------------------------------------------------------------------
     def submit(self) -> list[RunManifest]:
         """Expand, dispatch, and block until every run is terminal."""
-        requests = self.spec.expand()
-        self.out_dir.mkdir(parents=True, exist_ok=True)
-        states = [
-            _RunState(request=request, fingerprint=self._fingerprint_of(request))
-            for request in requests
-        ]
-        self._write_summary(states, started_at=time.time(), finished_at=None)
-        if self.config.workers == 0:
-            self._run_inline(states)
-        else:
-            self._run_pool(states)
-        self._write_summary(states, started_at=None, finished_at=time.time())
+        with self.metrics.span("sweep.submit"):
+            requests = self.spec.expand()
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            states = [
+                _RunState(request=request, fingerprint=self._fingerprint_of(request))
+                for request in requests
+            ]
+            self._write_summary(states, started_at=time.time(), finished_at=None)
+            if self.config.workers == 0:
+                self._run_inline(states)
+            else:
+                self._run_pool(states)
+            self._write_summary(states, started_at=None, finished_at=time.time())
         return [RunManifest.from_dict(state.manifest) for state in states]
 
     # ------------------------------------------------------------------
@@ -136,12 +144,18 @@ class SweepScheduler:
         for state in states:
             while not state.done:
                 state.attempts += 1
-                manifest = execute_run(
-                    state.request, str(self.out_dir), self._registry_arg(), state.attempts
-                )
+                self.metrics.counter("sweep.runs_dispatched").inc()
+                with self.metrics.span("sweep.run_inline"):
+                    manifest = execute_run(
+                        state.request, str(self.out_dir), self._registry_arg(), state.attempts
+                    )
                 if manifest["status"] == "completed" or state.attempts > self.config.retries:
                     state.manifest = manifest
+                    self.metrics.counter(
+                        "sweep.runs_settled", status=manifest["status"]
+                    ).inc()
                 else:
+                    self.metrics.counter("sweep.runs_retried").inc()
                     time.sleep(self._backoff(state.attempts))
 
     # ------------------------------------------------------------------
@@ -184,31 +198,34 @@ class SweepScheduler:
         if free <= 0:
             return
         held: list[_RunState] = []
-        while pending and free > 0:
-            state = pending.popleft()
-            if state.ready_at > now:
-                held.append(state)
-                continue
-            fingerprint = state.fingerprint
-            if fingerprint is not None and self._registry is not None:
-                if not self._registry.contains(fingerprint):
-                    if fingerprint in training_inflight:
-                        held.append(state)  # the trainer run will unlock us
-                        continue
-                    training_inflight.add(fingerprint)
-            state.attempts += 1
-            deadline = (
-                now + self.config.timeout_s if self.config.timeout_s is not None else None
-            )
-            future = executor.submit(
-                execute_run,
-                state.request,
-                str(self.out_dir),
-                self._registry_arg(),
-                state.attempts,
-            )
-            inflight[future] = (state, deadline)
-            free -= 1
+        with self.metrics.span("sweep.dispatch"):
+            while pending and free > 0:
+                state = pending.popleft()
+                if state.ready_at > now:
+                    held.append(state)
+                    continue
+                fingerprint = state.fingerprint
+                if fingerprint is not None and self._registry is not None:
+                    if not self._registry.contains(fingerprint):
+                        if fingerprint in training_inflight:
+                            held.append(state)  # the trainer run will unlock us
+                            self.metrics.counter("sweep.runs_held_for_model").inc()
+                            continue
+                        training_inflight.add(fingerprint)
+                state.attempts += 1
+                deadline = (
+                    now + self.config.timeout_s if self.config.timeout_s is not None else None
+                )
+                future = executor.submit(
+                    execute_run,
+                    state.request,
+                    str(self.out_dir),
+                    self._registry_arg(),
+                    state.attempts,
+                )
+                self.metrics.counter("sweep.runs_dispatched").inc()
+                inflight[future] = (state, deadline)
+                free -= 1
         pending.extendleft(reversed(held))
 
     def _absorb(
@@ -229,7 +246,9 @@ class SweepScheduler:
             )
         if manifest["status"] == "completed" or state.attempts > self.config.retries:
             state.manifest = manifest
+            self.metrics.counter("sweep.runs_settled", status=manifest["status"]).inc()
         else:
+            self.metrics.counter("sweep.runs_retried").inc()
             state.ready_at = time.monotonic() + self._backoff(state.attempts)
             pending.append(state)
 
@@ -249,6 +268,7 @@ class SweepScheduler:
         ]
         if not expired:
             return executor
+        self.metrics.counter("sweep.timeouts").inc(len(expired))
         for future, (state, deadline) in list(inflight.items()):
             if state.fingerprint is not None:
                 training_inflight.discard(state.fingerprint)

@@ -5,10 +5,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig, train_reusable_model
 from repro.des.kernel import Simulator
 from repro.topology.clos import ClosParams, build_clos
 from repro.topology.leafspine import LeafSpineParams, build_leaf_spine
 from repro.topology.routing import EcmpRouting
+
+#: Shared fast-training shape for the session-scoped trained bundle.
+#: Small but real: enough batches that drop/latency heads are usable
+#: by hybrid end-to-end tests, small enough to train in about a second.
+FAST_MICRO = MicroModelConfig(hidden_size=16, num_layers=1, window=8, train_batches=40)
+
+#: The collection run the shared bundle is trained on.
+TRAIN_CONFIG = ExperimentConfig(
+    clos=ClosParams(clusters=2), load=0.25, duration_s=0.006, seed=21
+)
 
 
 @pytest.fixture
@@ -33,6 +45,21 @@ def small_clos():
 def small_clos_routing(small_clos):
     """ECMP tables for the small Clos (session-cached)."""
     return EcmpRouting(small_clos)
+
+
+@pytest.fixture(scope="session")
+def trained_bundle():
+    """One real trained cluster model shared by the whole session.
+
+    Training is the most expensive fixture in the suite (~1 s); hybrid,
+    inference, and observability tests all need *a* trained bundle but
+    none of them cares about its exact weights, so one session-scoped
+    model replaces the per-module copies.  Tests must treat it as
+    read-only (each hybrid run builds its own engines and hidden
+    states, so sharing the bundle is safe).
+    """
+    trained, _ = train_reusable_model(TRAIN_CONFIG, micro=FAST_MICRO)
+    return trained
 
 
 @pytest.fixture(scope="session")

@@ -7,26 +7,15 @@ import pytest
 
 from repro.core.cluster_model import MIN_REGION_LATENCY_S
 from repro.core.hybrid import HybridConfig, HybridSimulation
-from repro.core.micro import MicroModelConfig
 from repro.core.pipeline import (
     ExperimentConfig,
     run_full_simulation,
     run_hybrid_simulation,
-    train_reusable_model,
 )
 from repro.topology.clos import ClosParams, build_clos, server_name
 
-FAST_MICRO = MicroModelConfig(hidden_size=16, num_layers=1, window=8, train_batches=40)
-
-TRAIN_CONFIG = ExperimentConfig(
-    clos=ClosParams(clusters=2), load=0.25, duration_s=0.006, seed=21
-)
-
-
-@pytest.fixture(scope="module")
-def trained_bundle():
-    trained, _ = train_reusable_model(TRAIN_CONFIG, micro=FAST_MICRO)
-    return trained
+# The trained model comes from the session-scoped ``trained_bundle``
+# fixture (tests/conftest.py) shared with the inference and obs tests.
 
 
 class TestHybridAssembly:

@@ -225,38 +225,29 @@ def test_compile_rejects_bad_dtype_and_mismatched_heads():
         compile_inference(model.lstm, model.drop_head, per_macro.latency_head)
 
 
-def test_trained_bundle_compiles_and_caches():
+def test_trained_bundle_compiles_and_caches(trained_bundle):
     """TrainedClusterModel.compiled() caches per dtype and the engines
-    consume raw features (standardizer folded in)."""
-    from repro.core.features import Direction
-    from repro.core.macro import MacroCalibration
-    from repro.core.training import DirectionModel, TrainedClusterModel
+    consume raw features (standardizer folded in).
 
-    model = _make_model("lstm", "shared", 21, 16, 1, seed=31)
-    standardizer = _make_standardizer(21, seed=31)
-    bundle = TrainedClusterModel(
-        config=model.config,
-        calibration=MacroCalibration(latency_low_s=1e-4, drop_rate_high=0.01),
-        directions={
-            Direction.INGRESS: DirectionModel(
-                model=model,
-                feature_standardizer=standardizer,
-                latency_mean=-8.0,
-                latency_std=1.0,
-            )
-        },
-    )
+    Runs against the session-scoped *actually trained* bundle — the
+    same object the hybrid and obs tests share — so the cache and
+    fold-in guarantees are checked on real weights, not synthetic ones.
+    """
+    bundle = trained_bundle
     assert bundle.compiled() is bundle.compiled("float64")
     assert bundle.compiled(np.float32) is not bundle.compiled()
 
-    engine = bundle.compiled().engine(Direction.INGRESS)
-    state = model.initial_state()
-    rng = np.random.default_rng(33)
-    for _ in range(25):
-        raw = rng.normal(size=21)
-        drop_ref, latency_ref, state = model.predict_step(
-            standardizer.transform(raw), state
-        )
-        drop_fused, latency_fused = engine.predict(raw)
-        assert abs(drop_fused - drop_ref) <= TOLERANCE
-        assert abs(latency_fused - latency_ref) <= TOLERANCE
+    for direction, direction_model in bundle.directions.items():
+        engine = bundle.compiled().engine(direction)
+        model = direction_model.model
+        standardizer = direction_model.feature_standardizer
+        state = model.initial_state()
+        rng = np.random.default_rng(33)
+        for _ in range(25):
+            raw = rng.normal(size=model.config.input_size)
+            drop_ref, latency_ref, state = model.predict_step(
+                standardizer.transform(raw), state
+            )
+            drop_fused, latency_fused = engine.predict(raw)
+            assert abs(drop_fused - drop_ref) <= TOLERANCE
+            assert abs(latency_fused - latency_ref) <= TOLERANCE
