@@ -36,6 +36,10 @@ See ``examples/quickstart.py`` for the three-stage workflow (Figure 3):
 full small simulation -> model training -> large hybrid simulation.
 """
 
-__version__ = "1.0.0"
+# The version participates in model fingerprints (repro.runs.fingerprint):
+# any release that changes feature semantics, macro-classifier behavior,
+# or training targets MUST bump it, or registries serve stale models.
+# 1.1.0: path_agg normalizer, first-gap EMA seeding, macro idle decay.
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -5,6 +5,7 @@ Exposes the Figure 3 workflow without writing Python::
     python -m repro simulate --clusters 2 --load 0.25 --duration 0.01
     python -m repro train    --output cluster_model/ --duration 0.01
     python -m repro hybrid   --model cluster_model/ --clusters 8
+    python -m repro validate --model cluster_model/ --duration 0.004
     python -m repro runs     submit --spec sweep.json --out runs/
     python -m repro runs     status --out runs/
     python -m repro models   ls --registry runs/models
@@ -214,6 +215,83 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     mode = "single-black-box" if args.single_black_box else "per-cluster"
     _print_run(result, f"hybrid simulation ({mode}): {args.clusters} clusters")
     _export_metrics(args, metrics)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.validate import ValidateConfig, render_report, run_differential_pair
+
+    config = _experiment_from_args(args)
+    metrics = _metrics_from_args(args)
+    if args.model is not None:
+        try:
+            trained = TrainedClusterModel.load(args.model)
+        except FileNotFoundError as error:
+            print(f"error: cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+    else:
+        training = ExperimentConfig(
+            clos=ClosParams(clusters=2),
+            load=config.load,
+            duration_s=args.train_duration,
+            seed=config.seed,
+        )
+        micro = MicroModelConfig(
+            hidden_size=args.hidden,
+            num_layers=args.layers,
+            window=args.window,
+            train_batches=args.batches,
+            seed=config.seed,
+        )
+        print(
+            f"no --model given: training a bundle on a 2-cluster run "
+            f"({training.duration_s * 1e3:.0f} ms @ {training.load:.0%} load)..."
+        )
+        trained, _ = train_reusable_model(training, micro=micro)
+    validate_config = ValidateConfig(
+        region_cluster=args.region_cluster,
+        full_cluster=args.full_cluster,
+        elide_remote_traffic=args.elide_remote_traffic,
+    )
+    diff = run_differential_pair(
+        config, trained, validate=validate_config, metrics=metrics
+    )
+    print(
+        f"== differential fidelity: {args.clusters} clusters @ "
+        f"{args.load:.0%}, seed {config.seed} =="
+    )
+    print(render_report(diff.report))
+    if args.report_json:
+        payload = {
+            "experiment": {
+                "clusters": args.clusters,
+                "load": config.load,
+                "duration_s": config.duration_s,
+                "seed": config.seed,
+            },
+            "full": {
+                "flows_completed": diff.full.flows_completed,
+                "drops": diff.full.drops,
+                "events_executed": diff.full.events_executed,
+            },
+            "hybrid": {
+                "flows_completed": diff.hybrid.flows_completed,
+                "drops": diff.hybrid.drops,
+                "events_executed": diff.hybrid.events_executed,
+                "model_packets": diff.hybrid.model_packets,
+            },
+            "fidelity": diff.report.to_dict(),
+        }
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote fidelity report to {args.report_json}")
+    _export_metrics(args, metrics)
+    violations = diff.checker.total
+    if violations:
+        print(f"error: {violations} invariant violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -537,6 +615,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_argument(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
+
+    validate = commands.add_parser(
+        "validate",
+        help="differential fidelity: score a hybrid against a matched full run",
+    )
+    _add_experiment_arguments(validate)
+    validate.add_argument(
+        "--model", default=None,
+        help="model bundle directory (default: train a small bundle first)",
+    )
+    validate.add_argument(
+        "--region-cluster", type=int, default=1,
+        help="cluster traced in the full run and approximated in the hybrid",
+    )
+    validate.add_argument(
+        "--full-cluster", type=int, default=0,
+        help="cluster kept at full fidelity on the hybrid side",
+    )
+    validate.add_argument(
+        "--elide-remote-traffic", action="store_true",
+        help="elide flows between approximated clusters (off by default: "
+        "the pair should carry identical workloads)",
+    )
+    validate.add_argument(
+        "--train-duration", type=float, default=0.006,
+        help="training-run simulated seconds when no --model is given",
+    )
+    validate.add_argument("--hidden", type=int, default=16, help="hidden units (training fallback)")
+    validate.add_argument("--layers", type=int, default=1, help="recurrent layers (training fallback)")
+    validate.add_argument("--window", type=int, default=8, help="BPTT window (training fallback)")
+    validate.add_argument("--batches", type=int, default=40, help="SGD steps (training fallback)")
+    validate.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the full fidelity report as JSON here",
+    )
+    _add_metrics_argument(validate)
+    validate.set_defaults(handler=_cmd_validate)
 
     evaluate = commands.add_parser(
         "evaluate", help="score a model bundle against a fresh ground-truth trace"

@@ -112,6 +112,20 @@ class ApproximatedCluster(Entity):
         packet cost is a single ``is not None`` branch when metrics
         are absent or disabled — the hot path never does a registry
         lookup.
+    invariants:
+        Optional :class:`~repro.validate.InvariantChecker`.  When set,
+        every delivery is checked for causality, per-egress FCFS
+        monotonicity, and latency bounds (one ``is not None`` branch
+        per packet when absent — same contract as ``metrics``).
+
+    Attributes
+    ----------
+    on_outcome:
+        Optional tap ``(now, latency_s_or_None, dropped) -> None``
+        fired once per handled packet with the model's decision.  The
+        differential fidelity harness collects the hybrid side of its
+        latency/drop/macro comparisons through it; ``None`` (default)
+        costs one branch per packet.
     """
 
     def __init__(
@@ -127,6 +141,7 @@ class ApproximatedCluster(Entity):
         use_fused: bool = True,
         inference_dtype: str | np.dtype = np.float64,
         metrics=None,
+        invariants=None,
     ) -> None:
         if isinstance(region, int):
             region = Region.cluster(topology, region)
@@ -170,14 +185,23 @@ class ApproximatedCluster(Entity):
         self.packets_dropped = 0
         self.packets_delivered = 0
         self.conflicts_resolved = 0
+        self.rate_fallbacks = 0  # distinct egress nodes that needed one
         self.inference_seconds = 0.0
         self.latency_stats = StreamingStats()
+
+        #: Per-packet outcome tap (see class docstring); resolved to a
+        #: local in ``receive`` so the disabled cost is one branch.
+        self.on_outcome = None
+        self._invariants = invariants
+        if invariants is not None:
+            invariants.watch_cluster(self)
 
         # Observability handles (resolved once; None == disabled).
         self._m_infer = None
         self._m_latency = None
         self._m_drops = None
         self._m_conflicts = None
+        self._m_rate_fallbacks = None
         if metrics is not None and metrics.handles_enabled():
             cluster = self.region.name
             self._m_infer = metrics.histogram(
@@ -189,6 +213,9 @@ class ApproximatedCluster(Entity):
             self._m_drops = metrics.counter("hybrid.model_drops", cluster=cluster)
             self._m_conflicts = metrics.counter(
                 "hybrid.conflicts_resolved", cluster=cluster
+            )
+            self._m_rate_fallbacks = metrics.counter(
+                "hybrid.egress_rate_fallbacks", cluster=cluster
             )
             transitions = metrics.counter("hybrid.macro_transitions", cluster=cluster)
             by_edge = {}
@@ -247,6 +274,8 @@ class ApproximatedCluster(Entity):
             if self._m_drops is not None:
                 self._m_drops.inc()
             self.macro.observe(now, dropped=True)
+            if self.on_outcome is not None:
+                self.on_outcome(now, None, True)
             return
 
         latency = bundle.latency_from_norm(latency_norm)
@@ -255,12 +284,17 @@ class ApproximatedCluster(Entity):
         if self._m_latency is not None:
             self._m_latency.observe(latency)
         self.macro.observe(now, latency_s=latency)
+        if self.on_outcome is not None:
+            self.on_outcome(now, latency, False)
 
         target = self._egress_node(packet, direction)
         boundary = self._boundary_node(target)
         deliver_at = self._resolve_conflict(target, now + latency, packet)
         entity = self.resolve_entity(target)
         self.packets_delivered += 1
+        if self._invariants is not None:
+            self._invariants.check_latency(self.name, now, latency)
+            self._invariants.check_delivery(self.name, target, now, deliver_at)
         self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
 
     # ------------------------------------------------------------------
@@ -317,10 +351,31 @@ class ApproximatedCluster(Entity):
         cached = self._rate_cache.get(target)
         if cached is not None:
             return cached
-        rate = 10e9
+        rate = None
         for neighbor in self.topology.neighbors(target):
             if self.region.contains_switch(neighbor):
                 rate = self.topology.link_between(target, neighbor).rate_bps
                 break
+        if rate is None:
+            # No region-facing link at this egress node.  Fall back to
+            # the slowest link actually configured at the target (the
+            # bottleneck assumption) instead of a hardcoded 10G, which
+            # mis-sized conflict serialization on any other topology;
+            # count the hit so divergence here is observable.
+            rate = min(
+                (
+                    self.topology.link_between(target, neighbor).rate_bps
+                    for neighbor in self.topology.neighbors(target)
+                ),
+                default=None,
+            )
+            if rate is None:
+                raise ValueError(
+                    f"egress node {target!r} has no links; cannot size "
+                    "conflict-resolution serialization"
+                )
+            self.rate_fallbacks += 1
+            if self._m_rate_fallbacks is not None:
+                self._m_rate_fallbacks.inc()
         self._rate_cache[target] = rate
         return rate

@@ -129,6 +129,8 @@ class RegionFeatureExtractor:
             max_slot = max(max_slot, slot + 1)
         self._max_tor = max_tor
         self._max_slot = max_slot
+        aggs = topology.nodes_with_role(NodeRole.CLUSTER)
+        self._max_agg = max((node.index + 1 for node in aggs), default=1)
         cores = topology.nodes_with_role(NodeRole.CORE)
         self._num_cores = max(len(cores), 1)
         self._clocks = {Direction.INGRESS: _DirectionClock(), Direction.EGRESS: _DirectionClock()}
@@ -169,7 +171,7 @@ class RegionFeatureExtractor:
                     else:
                         tor_out = value
                 elif node.role is NodeRole.CLUSTER:
-                    agg = (node.index + 1) / self._max_tor
+                    agg = (node.index + 1) / self._max_agg
         result = (tor_in, agg, core, tor_out, has_core)
         self._path_cache[key] = result
         return result
@@ -190,12 +192,18 @@ class RegionFeatureExtractor:
         if direction is None:
             direction = self.direction_of(packet)
         clock = self._clocks[direction]
-        gap = 0.0 if clock.last_arrival is None else now - clock.last_arrival
-        clock.last_arrival = now
-        if clock.gap_ema is None:
-            clock.gap_ema = gap
+        if clock.last_arrival is None:
+            # First arrival: 0.0 is a "no previous packet" sentinel, not
+            # a real inter-arrival gap — it must not seed the moving
+            # average, or the EMA starts biased low for the whole warm-up.
+            gap = 0.0
         else:
-            clock.gap_ema += self.ema_alpha * (gap - clock.gap_ema)
+            gap = now - clock.last_arrival
+            if clock.gap_ema is None:
+                clock.gap_ema = gap
+            else:
+                clock.gap_ema += self.ema_alpha * (gap - clock.gap_ema)
+        clock.last_arrival = now
 
         src_cluster, src_tor, src_slot = self._server_info[packet.src]
         dst_cluster, dst_tor, dst_slot = self._server_info[packet.dst]
@@ -214,7 +222,7 @@ class RegionFeatureExtractor:
         features[9] = tor_out
         features[10] = has_core
         features[11] = _log_us(gap)
-        features[12] = _log_us(clock.gap_ema)
+        features[12] = _log_us(clock.gap_ema) if clock.gap_ema is not None else 0.0
         features[13] = packet.size_bytes / 1500.0
         features[14] = 1.0 if packet.is_ack_only() else 0.0
         features[15] = 1.0 if packet.retransmission else 0.0

@@ -94,6 +94,12 @@ class HybridSimulation:
         Queue/TCP parameters — should match what training used.
     config:
         Hybrid options.
+    invariants:
+        Optional :class:`~repro.validate.InvariantChecker`; handed to
+        every approximated cluster so model deliveries are checked for
+        causality, FCFS monotonicity, and latency bounds.  (Attach it
+        to the kernel separately via ``attach_simulator`` to also
+        observe scheduling calls.)
 
     Attributes
     ----------
@@ -112,6 +118,7 @@ class HybridSimulation:
         net_config: Optional[NetworkConfig] = None,
         config: Optional[HybridConfig] = None,
         metrics=None,
+        invariants=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -158,6 +165,7 @@ class HybridSimulation:
                 use_fused=self.config.use_fused_inference,
                 inference_dtype=self.config.inference_dtype,
                 metrics=metrics,
+                invariants=invariants,
             )
             self.models[BLACK_BOX_KEY] = model
             for name in region.switches:
@@ -183,6 +191,7 @@ class HybridSimulation:
                     use_fused=self.config.use_fused_inference,
                     inference_dtype=self.config.inference_dtype,
                     metrics=metrics,
+                    invariants=invariants,
                 )
                 self.models[cluster] = model
                 for node in topology.cluster_nodes(cluster):

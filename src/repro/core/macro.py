@@ -146,6 +146,12 @@ class AutoRegressiveMacroClassifier:
         self._prev_latency_ema: Optional[float] = None
         self._drop_ema = 0.0
         self._bucket_index: Optional[int] = None
+        self._bucket_has_obs = False
+
+    #: Idle buckets are stepped one by one (decay + reclassify) up to
+    #: this many; a longer gap zeroes the EMAs directly, so arbitrarily
+    #: long idle periods cost O(_MAX_IDLE_STEPS), not O(gap).
+    _MAX_IDLE_STEPS = 64
 
     def observe(self, now: float, latency_s: Optional[float] = None, dropped: bool = False) -> None:
         """Feed one packet outcome (a latency, a drop, or both).
@@ -154,12 +160,7 @@ class AutoRegressiveMacroClassifier:
         simulation it receives the micro model's own predictions, so
         the macro state reflects what the approximation is doing.
         """
-        bucket = int(now / self.bucket_s)
-        if self._bucket_index is None:
-            self._bucket_index = bucket
-        elif bucket != self._bucket_index:
-            self._reclassify()
-            self._bucket_index = bucket
+        self.advance(now)
         a = self.ema_alpha
         if latency_s is not None:
             if self._latency_ema is None:
@@ -167,6 +168,51 @@ class AutoRegressiveMacroClassifier:
             else:
                 self._latency_ema += a * (latency_s - self._latency_ema)
         self._drop_ema += a * ((1.0 if dropped else 0.0) - self._drop_ema)
+        self._bucket_has_obs = True
+
+    def advance(self, now: float) -> None:
+        """Step the bucket clock to ``now`` without an observation.
+
+        Every elapsed bucket gets its own reclassification, and every
+        *idle* bucket (one that closed with no packets) decays both
+        EMAs by ``(1 - ema_alpha)`` — the drop burst a cluster saw
+        before going quiet must not keep it pinned in HIGH forever.
+        The loop is bounded by :attr:`_MAX_IDLE_STEPS`; gaps beyond it
+        zero the EMAs directly (the decayed value would underflow any
+        calibrated threshold anyway), so a long idle period is O(1).
+
+        ``observe`` calls this on every packet; the fidelity harness
+        calls it directly to sample per-bucket state timelines.
+        """
+        bucket = int(now / self.bucket_s)
+        if self._bucket_index is None:
+            self._bucket_index = bucket
+            return
+        elapsed = bucket - self._bucket_index
+        if elapsed <= 0:
+            return
+        decay = 1.0 - self.ema_alpha
+        # Close the current bucket: if it saw no packets it is itself an
+        # idle bucket and must decay — stepping one bucket at a time has
+        # to match one big jump over the same span.
+        if not self._bucket_has_obs:
+            self._drop_ema *= decay
+            if self._latency_ema is not None:
+                self._latency_ema *= decay
+        self._reclassify()
+        self._bucket_has_obs = False
+        idle = elapsed - 1
+        if idle > self._MAX_IDLE_STEPS:
+            self._drop_ema = 0.0
+            if self._latency_ema is not None:
+                self._latency_ema = 0.0
+            idle = 1  # one more reclassification lands the final state
+        for _ in range(idle):
+            self._drop_ema *= decay
+            if self._latency_ema is not None:
+                self._latency_ema *= decay
+            self._reclassify()
+        self._bucket_index = bucket
 
     def _reclassify(self) -> None:
         latency = self._latency_ema

@@ -123,6 +123,27 @@ def _run_stage(
             )
             counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
             return _summarize_result(result), counters, model_info
+        if request.stage == "validate":
+            # Differential fidelity: a matched full/hybrid pair scored
+            # by repro.validate; the report rides in the manifest so
+            # sweeps gate on agreement, not just completion.
+            from repro.validate import ValidateConfig, run_differential_pair
+
+            diff = run_differential_pair(
+                request.experiment,
+                lookup.model,
+                validate=ValidateConfig(**request.hybrid),
+                metrics=metrics,
+            )
+            counters = diff.hybrid_sim.hot_path_counters(
+                diff.hybrid.wallclock_seconds
+            )
+            result_dict = {
+                "full": _summarize_result(diff.full),
+                "hybrid": _summarize_result(diff.hybrid),
+                "fidelity": diff.report.to_dict(),
+            }
+            return result_dict, counters, model_info
 
         # evaluate: score the bundle against a fresh ground-truth trace.
         from repro.core.evaluation import evaluate_on_records

@@ -36,7 +36,7 @@ from repro.runs.executor import execute_run
 from repro.runs.fingerprint import model_fingerprint
 from repro.runs.manifest import RunManifest, summarize_statuses
 from repro.runs.registry import ModelRegistry
-from repro.runs.spec import RunRequest, ScenarioSpec
+from repro.runs.spec import MODEL_STAGES, RunRequest, ScenarioSpec
 
 SWEEP_SUMMARY_NAME = "sweep.json"
 
@@ -101,7 +101,7 @@ class SweepScheduler:
         #: this one watches the orchestration.  Disabled by default —
         #: every span/counter then resolves to a shared no-op.
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
-        if registry_root is None and spec.stage in ("train", "hybrid", "evaluate"):
+        if registry_root is None and spec.stage in MODEL_STAGES:
             registry_root = self.out_dir / "models"
         self.registry_root = Path(registry_root) if registry_root is not None else None
         self._registry = (

@@ -2,8 +2,8 @@
 
 A :class:`ScenarioSpec` is the JSON/TOML-loadable description of one
 sweep: a base :class:`~repro.core.pipeline.ExperimentConfig`, a
-pipeline stage (``simulate`` / ``train`` / ``hybrid`` / ``evaluate``),
-and sweep axes.  :meth:`ScenarioSpec.expand` turns it into an ordered
+pipeline stage (``simulate`` / ``train`` / ``hybrid`` / ``evaluate``
+/ ``validate``), and sweep axes.  :meth:`ScenarioSpec.expand` turns it into an ordered
 list of :class:`RunRequest` objects — the unit the scheduler dispatches
 to worker processes and the manifest layer records.
 
@@ -14,8 +14,8 @@ master seed => identical derived seeds, always).  Manifests record both
 the master and the derived seed.
 
 Stages that need a trained cluster model (``train``, ``hybrid``,
-``evaluate``) carry a *training* configuration alongside the evaluation
-one.  The training configuration is deliberately **not** reseeded per
+``evaluate``, ``validate``) carry a *training* configuration alongside
+the evaluation one.  The training configuration is deliberately **not** reseeded per
 run: keeping it constant across the sweep is what makes every run map
 to the same model fingerprint, so the registry trains once and serves
 cache hits to the rest of the sweep (the paper's Figure 3 economics).
@@ -36,10 +36,10 @@ from repro.core.pipeline import ExperimentConfig
 from repro.topology.clos import ClosParams
 
 #: Pipeline stages a spec can request.
-STAGES = ("simulate", "train", "hybrid", "evaluate")
+STAGES = ("simulate", "train", "hybrid", "evaluate", "validate")
 
 #: Stages that need a trained cluster model (and hence a registry).
-MODEL_STAGES = ("train", "hybrid", "evaluate")
+MODEL_STAGES = ("train", "hybrid", "evaluate", "validate")
 
 #: Sweep axes and where each one applies.
 EXPERIMENT_AXES = ("load", "seed", "duration_s", "matrix", "intra_cluster_fraction")
@@ -147,7 +147,9 @@ class ScenarioSpec:
     micro:
         Micro-model architecture/training hyper-parameters.
     hybrid:
-        Keyword overrides for :class:`~repro.core.hybrid.HybridConfig`.
+        Keyword overrides for :class:`~repro.core.hybrid.HybridConfig`
+        (``hybrid`` stage) or
+        :class:`~repro.validate.ValidateConfig` (``validate`` stage).
     sweep:
         Axis name -> list of values; runs are the Cartesian product,
         expanded with axes in sorted-name order and values in the
@@ -183,7 +185,9 @@ class ScenarioSpec:
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(f"sweep axis {axis!r} needs a non-empty list of values")
         if "alpha" in self.sweep and self.stage not in MODEL_STAGES:
-            raise ValueError("sweep axis 'alpha' requires a model stage (train/hybrid/evaluate)")
+            raise ValueError(
+                f"sweep axis 'alpha' requires a model stage {MODEL_STAGES}"
+            )
         if self.stage in MODEL_STAGES:
             if self.training is None:
                 self.training = ExperimentConfig(

@@ -1,0 +1,50 @@
+"""Differential fidelity validation and runtime invariant checking.
+
+The instrument the paper's claim rests on: does the hybrid agree with
+full-fidelity simulation?  :func:`run_differential_pair` runs a
+matched pair (same seed, topology, and workload) and scores the hybrid
+side — K-S / Wasserstein-1 distribution distances on FCTs and region
+latencies, drop-rate and throughput deltas, and a per-bucket
+macro-state confusion matrix against ground-truth congestion regimes.
+:class:`InvariantChecker` separately watches any simulation for
+structural violations (causality, packet conservation, per-egress
+FCFS, latency bounds) cheaply enough to stay on in tier-1 tests.
+"""
+
+from repro.validate.fidelity import (
+    MACRO_STATE_NAMES,
+    FidelityReport,
+    compare_samples,
+    macro_agreement,
+    macro_timeline,
+    rate_delta,
+    render_report,
+)
+from repro.validate.harness import (
+    DifferentialResult,
+    ValidateConfig,
+    build_report,
+    run_differential_pair,
+)
+from repro.validate.invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    InvariantViolation,
+)
+
+__all__ = [
+    "INVARIANTS",
+    "MACRO_STATE_NAMES",
+    "DifferentialResult",
+    "FidelityReport",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ValidateConfig",
+    "build_report",
+    "compare_samples",
+    "macro_agreement",
+    "macro_timeline",
+    "rate_delta",
+    "render_report",
+    "run_differential_pair",
+]

@@ -170,3 +170,50 @@ class TestHybridExecution:
         assert r1.events_executed == r2.events_executed
         assert r1.rtt_samples == r2.rtt_samples
         assert r1.model_packets == r2.model_packets
+
+
+class TestEgressLinkRate:
+    """Regression: the egress-rate fallback was a hardcoded 10 Gb/s,
+    mis-sizing conflict serialization on any other link speed."""
+
+    def _model(self, trained_bundle, rate_bps):
+        from repro.des.kernel import Simulator
+
+        topo = build_clos(ClosParams(clusters=2, rate_bps=rate_bps))
+        hybrid = HybridSimulation(Simulator(seed=3), topo, trained_bundle)
+        return hybrid.models[1]
+
+    def test_region_facing_rate_from_topology(self, trained_bundle):
+        model = self._model(trained_bundle, rate_bps=40e9)
+        # A server behind the approximated cluster: its access link is
+        # region-facing and carries the configured 40G, not 10G.
+        assert model._egress_link_rate(server_name(1, 0, 0)) == 40e9
+        assert model.rate_fallbacks == 0
+
+    def test_fallback_derives_from_topology_not_hardcoded(self, trained_bundle):
+        model = self._model(trained_bundle, rate_bps=25e9)
+        # A full-cluster server has no region-facing neighbor, so the
+        # fallback path runs — and must surface the topology's 25G.
+        assert model._egress_link_rate(server_name(0, 0, 0)) == 25e9
+        assert model.rate_fallbacks == 1
+        # Cached: a second lookup is not a second fallback.
+        assert model._egress_link_rate(server_name(0, 0, 0)) == 25e9
+        assert model.rate_fallbacks == 1
+
+    def test_fallback_counted_in_obs(self, trained_bundle):
+        from repro.des.kernel import Simulator
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=True)
+        topo = build_clos(ClosParams(clusters=2, rate_bps=25e9))
+        hybrid = HybridSimulation(
+            Simulator(seed=3), topo, trained_bundle, metrics=metrics
+        )
+        model = hybrid.models[1]
+        model._egress_link_rate(server_name(0, 0, 0))
+        snapshot = metrics.snapshot()
+        fallbacks = [
+            c for c in snapshot["counters"]
+            if c["name"] == "hybrid.egress_rate_fallbacks"
+        ]
+        assert fallbacks and fallbacks[0]["value"] == 1

@@ -82,3 +82,28 @@ def test_gap_feature_monotone_in_elapsed_time(stream):
     f_short = short.extract(probe, last_time + 1e-6, MacroState.MINIMAL)
     f_long = long.extract(probe, last_time + 1e-3, MacroState.MINIMAL)
     assert f_long[11] >= f_short[11]
+
+
+_TOPO_AGG_HEAVY = build_clos(ClosParams(clusters=2, tors_per_cluster=2, aggs_per_cluster=5))
+_ROUTING_AGG_HEAVY = EcmpRouting(_TOPO_AGG_HEAVY)
+
+
+@given(
+    ports=st.lists(st.integers(1, 60_000), min_size=1, max_size=40),
+    src=st.integers(0, 1),
+    dst_tor=st.integers(0, 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_agg_feature_bounded_with_more_aggs_than_tors(ports, src, dst_tor):
+    """Regression: path_agg was normalized by the ToR count, so any
+    cluster with more aggregation switches than ToRs pushed the feature
+    past 1.0.  It must stay in (0, 1] for every ECMP path choice."""
+    extractor = RegionFeatureExtractor(_TOPO_AGG_HEAVY, _ROUTING_AGG_HEAVY, 1)
+    for i, port in enumerate(ports):
+        packet = Packet(
+            src=server_name(0, 0, src), dst=server_name(1, dst_tor, 0),
+            src_port=port, dst_port=80, payload_bytes=1460,
+        )
+        features = extractor.extract(packet, 1e-6 * (i + 1), MacroState.MINIMAL)
+        agg = features[7]  # path_agg
+        assert 0.0 < agg <= 1.0

@@ -122,3 +122,62 @@ class TestFeatureVector:
             fa = ext_a.extract(packet, t, MacroState.MINIMAL)
             fb = ext_b.extract(packet, t, MacroState.MINIMAL)
             np.testing.assert_array_equal(fa, fb)
+
+
+class TestNormalizerRegressions:
+    """Regressions for the path_agg and gap-EMA hot-path bugs."""
+
+    def test_agg_index_normalized_by_agg_count(self):
+        """path_agg once divided the aggregation-switch index by the ToR
+        count; with more aggs than ToRs the feature escaped [0, 1]."""
+        from repro.topology.clos import ClosParams, build_clos
+        from repro.topology.routing import EcmpRouting
+
+        topo = build_clos(ClosParams(clusters=2, tors_per_cluster=2, aggs_per_cluster=4))
+        ext = RegionFeatureExtractor(topo, EcmpRouting(topo), 1)
+        agg_idx = FEATURE_NAMES.index("path_agg")
+        seen = set()
+        for port in range(10_000, 10_064):
+            packet = Packet(
+                src=server_name(0, 0, 0), dst=server_name(1, 1, 0),
+                src_port=port, dst_port=80, payload_bytes=1460,
+            )
+            features = ext.extract(packet, port * 1e-6, MacroState.MINIMAL)
+            assert 0.0 < features[agg_idx] <= 1.0
+            seen.add(features[agg_idx])
+        # ECMP spreads flows over all four aggs; the top-index agg must
+        # land exactly at 1.0 under the correct normalizer.
+        assert max(seen) == pytest.approx(1.0)
+        assert len(seen) > 1
+
+    def test_first_packet_leaves_gap_ema_unseeded(self, small_clos, small_clos_routing):
+        """The first arrival has no inter-arrival gap; seeding the EMA
+        with the 0.0 sentinel biased the feature low for the whole
+        warm-up.  The EMA must start at the first *real* gap."""
+        ext = _extractor(small_clos, small_clos_routing, cluster=1)
+        ema_idx = FEATURE_NAMES.index("gap_ema_log_us")
+        first = ext.extract(
+            _packet(server_name(0, 0, 0), server_name(1, 0, 0)), 0.0, MacroState.MINIMAL
+        )
+        assert first[ema_idx] == 0.0  # still unseeded, not a seeded 0.0
+        second = ext.extract(
+            _packet(server_name(0, 0, 0), server_name(1, 0, 0)), 1e-4, MacroState.MINIMAL
+        )
+        # EMA == the 100us gap itself (a seeded-at-zero EMA would read
+        # log1p(alpha * 100) instead).
+        assert second[ema_idx] == pytest.approx(np.log1p(100), rel=1e-9)
+
+    def test_gap_ema_identical_across_extractor_copies(self, small_clos, small_clos_routing):
+        """Training and inference share the extractor class; the fix
+        must keep both phases bit-identical on the same stream."""
+        stream = [
+            (_packet(server_name(0, 0, i % 4), server_name(1, i % 2, 0)), 3e-5 * (i + 1))
+            for i in range(8)
+        ]
+        ext_a = _extractor(small_clos, small_clos_routing, cluster=1)
+        ext_b = _extractor(small_clos, small_clos_routing, cluster=1)
+        for packet, t in stream:
+            np.testing.assert_array_equal(
+                ext_a.extract(packet, t, MacroState.MINIMAL),
+                ext_b.extract(packet, t, MacroState.MINIMAL),
+            )

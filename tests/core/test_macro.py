@@ -126,3 +126,61 @@ class TestClassifierStates:
             AutoRegressiveMacroClassifier(cal, bucket_s=0.0)
         with pytest.raises(ValueError):
             AutoRegressiveMacroClassifier(cal, ema_alpha=0.0)
+
+
+class TestIdleDecay:
+    """Regression: idle buckets once fired a single reclassification
+    with no EMA decay, pinning a quiet cluster in HIGH forever."""
+
+    def _drive_to_high(self, clf):
+        for i in range(30):
+            clf.observe(i * 1e-5, latency_s=5e-4, dropped=(i % 2 == 0))
+        clf.observe(0.0011, latency_s=5e-4)  # close bucket 0
+        assert clf.state is MacroState.HIGH
+        return clf
+
+    def test_idle_gap_leaves_high(self):
+        clf = self._drive_to_high(_classifier(latency_low=1e-4, drop_high=0.05))
+        # 20 empty buckets: EMAs decay by 0.8 each -> far below the
+        # drop threshold; no new packet needed to leave HIGH.
+        clf.advance(0.021)
+        assert clf.state is not MacroState.HIGH
+        assert clf.drop_ema < 0.05
+
+    def test_each_idle_bucket_reclassifies(self):
+        """With a low MINIMAL threshold the drained cluster must pass
+        through (and stay in) DECREASING — its latency EMA is falling
+        but still elevated.  A single terminal reclassify would jump
+        states without ever visiting the falling regime."""
+        clf = self._drive_to_high(_classifier(latency_low=1e-6, drop_high=0.05))
+        visited = []
+        clf.on_transition = lambda before, after: visited.append(after)
+        clf.advance(0.021)
+        assert MacroState.DECREASING in visited
+        assert clf.state is MacroState.DECREASING
+
+    def test_long_gap_costs_constant_work(self):
+        """Gaps beyond _MAX_IDLE_STEPS zero the EMAs directly instead
+        of stepping bucket by bucket (an hour of idle is O(1))."""
+        clf = self._drive_to_high(_classifier(latency_low=1e-4, drop_high=0.05))
+        steps = AutoRegressiveMacroClassifier._MAX_IDLE_STEPS
+        clf.advance((steps + 1000) * clf.bucket_s)
+        assert clf.drop_ema == 0.0
+        assert clf.latency_ema == 0.0
+        assert clf.state is MacroState.MINIMAL
+
+    def test_advance_without_observation_is_idempotent(self):
+        clf = self._drive_to_high(_classifier())
+        clf.advance(0.021)
+        state, drop_ema = clf.state, clf.drop_ema
+        clf.advance(0.021)  # same bucket: no further decay
+        assert clf.state is state and clf.drop_ema == drop_ema
+
+    def test_observation_after_gap_uses_decayed_baseline(self):
+        """A drop burst, a long quiet period, then one clean packet:
+        the cluster must classify from the decayed EMAs, not resurrect
+        the stale HIGH state."""
+        clf = self._drive_to_high(_classifier(latency_low=1e-4, drop_high=0.05))
+        clf.observe(0.050, latency_s=5e-5)
+        clf.observe(0.051, latency_s=5e-5)  # close the bucket
+        assert clf.state is MacroState.MINIMAL

@@ -111,3 +111,37 @@ class TestEntriesAndGc:
         assert entry.fingerprint == "abc"
         assert entry.size_bytes > 0
         assert entry.inputs["micro"]["hidden_size"] == 8
+
+
+class TestVersionInvalidation:
+    """The package version participates in the fingerprint: a release
+    that changes feature semantics (e.g. the path_agg normalizer fix)
+    must miss every cache entry trained under the old semantics."""
+
+    def test_current_version_is_not_the_seed_version(self):
+        import repro
+
+        assert repro.__version__ != "1.0.0"
+
+    def test_fingerprint_changes_across_versions(self):
+        current = model_fingerprint(TRAIN_CONFIG, MICRO)
+        pre_fix = model_fingerprint(TRAIN_CONFIG, MICRO, package_version="1.0.0")
+        assert current != pre_fix
+
+    def test_stale_model_is_a_cache_miss(self, tmp_path, tiny_model):
+        registry = ModelRegistry(tmp_path / "reg")
+        stale = model_fingerprint(TRAIN_CONFIG, MICRO, package_version="1.0.0")
+        registry.store(stale, tiny_model)
+
+        calls = 0
+
+        def train_fn():
+            nonlocal calls
+            calls += 1
+            return tiny_model
+
+        lookup = registry.get_or_train(TRAIN_CONFIG, MICRO, train_fn=train_fn)
+        assert calls == 1  # the pre-fix artifact was not served
+        assert not lookup.cache_hit
+        assert lookup.fingerprint != stale
+        assert registry.contains(stale) and registry.contains(lookup.fingerprint)

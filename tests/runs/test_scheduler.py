@@ -160,3 +160,35 @@ class TestDeterminism:
         assert [m.result["events_executed"] for m in first] == [
             m.result["events_executed"] for m in second
         ]
+
+
+TINY_VALIDATE = {
+    "name": "sched-val",
+    "stage": "validate",
+    "experiment": {"clusters": 2, "load": 0.25, "duration_s": 0.002, "seed": 9},
+    "training": {"clusters": 2, "load": 0.25, "duration_s": 0.004, "seed": 7},
+    "micro": {
+        "hidden_size": 8, "num_layers": 1, "window": 8,
+        "train_batches": 5, "learning_rate": 3e-3,
+    },
+}
+
+
+class TestValidateStage:
+    """The differential fidelity stage rides the same scheduler path."""
+
+    def test_fidelity_embedded_in_manifest(self, tmp_path):
+        manifests = _submit(TINY_VALIDATE, tmp_path, workers=0, retries=0)
+        assert [m.status for m in manifests] == ["completed"]
+        manifest = manifests[0]
+        assert manifest.model is not None  # validate is a model stage
+        fidelity = manifest.result["fidelity"]
+        assert set(fidelity) == {
+            "fct", "latency", "drop_rate", "throughput", "macro", "invariants"
+        }
+        assert fidelity["invariants"]["total"] == 0
+        assert fidelity["latency"]["full_samples"] > 0
+        assert fidelity["macro"]["buckets"] > 0
+        assert manifest.result["full"]["events_executed"] > 0
+        assert manifest.result["hybrid"]["events_executed"] > 0
+        assert manifest.hot_path_counters["model_packets"] > 0

@@ -1,0 +1,129 @@
+"""Unit tests for the fidelity metrics (distances, macro timelines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.macro import MacroCalibration, MacroState
+from repro.validate import (
+    MACRO_STATE_NAMES,
+    FidelityReport,
+    compare_samples,
+    macro_agreement,
+    macro_timeline,
+    rate_delta,
+    render_report,
+)
+
+_CAL = MacroCalibration(latency_low_s=1e-4, drop_rate_high=0.05)
+
+
+class TestCompareSamples:
+    def test_identical_distributions(self):
+        samples = [1e-3, 2e-3, 3e-3, 4e-3]
+        result = compare_samples(samples, list(samples))
+        assert result["ks"] == 0.0
+        assert result["wasserstein"] == pytest.approx(0.0, abs=1e-12)
+        assert result["full_samples"] == result["hybrid_samples"] == 4
+
+    def test_disjoint_distributions(self):
+        result = compare_samples([1.0, 1.1], [5.0, 5.1])
+        assert result["ks"] == 1.0
+        assert result["wasserstein"] == pytest.approx(4.0, rel=1e-6)
+
+    def test_empty_side_yields_none_not_crash(self):
+        result = compare_samples([], [1.0])
+        assert result["ks"] is None and result["wasserstein"] is None
+        assert result["full_mean"] is None
+        assert result["hybrid_mean"] == 1.0
+
+
+class TestMacroTimeline:
+    def test_length_matches_duration(self):
+        states = macro_timeline([], _CAL, duration_s=0.01, bucket_s=0.001)
+        assert len(states) == 10
+        assert all(s == MacroState.MINIMAL.value for s in states)
+
+    def test_congested_buckets_classified(self):
+        # Latencies above threshold and heavy drops in bucket 1.
+        outcomes = [(0.0015 + i * 1e-5, 5e-4, i % 2 == 0) for i in range(20)]
+        states = macro_timeline(outcomes, _CAL, duration_s=0.02, bucket_s=0.001)
+        assert len(states) == 20
+        assert states[1] == MacroState.HIGH.value
+        # The idle tail decays the drop EMA away from HIGH.
+        assert states[-1] != MacroState.HIGH.value
+
+    def test_unsorted_input_replayed_in_time_order(self):
+        outcomes = [(0.0025, 5e-4, True), (0.0005, 5e-5, False), (0.0015, 2e-4, False)]
+        forward = macro_timeline(outcomes, _CAL, duration_s=0.003, bucket_s=0.001)
+        backward = macro_timeline(outcomes[::-1], _CAL, duration_s=0.003, bucket_s=0.001)
+        assert forward == backward
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            macro_timeline([], _CAL, duration_s=0.01, bucket_s=0.0)
+
+
+class TestMacroAgreement:
+    def test_perfect_agreement(self):
+        timeline = [1, 2, 3, 4, 1]
+        result = macro_agreement(timeline, list(timeline))
+        assert result["agreement"] == 1.0
+        assert result["buckets"] == 5
+        assert sum(result["confusion"][i][i] for i in range(4)) == 5
+
+    def test_confusion_off_diagonal(self):
+        result = macro_agreement([1, 1, 3], [1, 2, 3])
+        assert result["agreement"] == pytest.approx(2 / 3)
+        assert result["confusion"][0][1] == 1  # truth MINIMAL, hybrid INCREASING
+        assert result["states"] == list(MACRO_STATE_NAMES)
+
+    def test_empty_timelines(self):
+        result = macro_agreement([], [])
+        assert result["agreement"] is None
+        assert result["buckets"] == 0
+
+
+def _report(violations=0):
+    return FidelityReport(
+        fct=compare_samples([1e-3, 2e-3], [1e-3, 3e-3]),
+        latency=compare_samples([1e-5, 2e-5], [1e-5, 2e-5]),
+        drop_rate=rate_delta(0.01, 0.02),
+        throughput=rate_delta(1000.0, 900.0),
+        macro=macro_agreement([1, 2], [1, 2]),
+        invariants={
+            "total": violations,
+            "counts": {},
+            "violations": (
+                [{"invariant": "fcfs", "time": 0.1, "detail": "oops"}]
+                if violations
+                else []
+            ),
+        },
+    )
+
+
+class TestReport:
+    def test_to_dict_json_serializable(self):
+        import json
+
+        payload = _report().to_dict()
+        assert set(payload) == {
+            "fct", "latency", "drop_rate", "throughput", "macro", "invariants"
+        }
+        json.dumps(payload)
+
+    def test_violation_count_exposed(self):
+        assert _report().invariant_violations == 0
+        assert _report(violations=3).invariant_violations == 3
+
+    def test_render_mentions_all_sections(self):
+        text = render_report(_report())
+        for token in ("fct_s", "latency_s", "drop_rate", "flows_per_s",
+                      "macro-state agreement", "invariant violations: 0"):
+            assert token in text
+
+    def test_render_lists_violations(self):
+        text = render_report(_report(violations=1))
+        assert "invariant violations: 1" in text
+        assert "[fcfs]" in text and "oops" in text
