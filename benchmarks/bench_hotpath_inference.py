@@ -39,6 +39,7 @@ import numpy as np
 from benchmarks.conftest import write_result
 from repro.analysis.reporting import format_table
 from repro.core.micro import MicroModel, MicroModelConfig
+from repro.nn.batch import MemoConfig, make_batched_engine
 from repro.nn.data import Standardizer
 from repro.nn.infer import compile_inference
 
@@ -49,6 +50,13 @@ JSON_PATH = REPO_ROOT / "BENCH_hotpath.json"
 PACKETS = int(os.environ.get("REPRO_HOTPATH_PACKETS", "2000"))
 TRIALS = 5
 WARMUP = 200
+#: The steady-state memo section needs thousands of warmup rounds to
+#: converge; the smoke run keeps the code path covered but its numbers
+#: (and the related soft floors) only apply to full-size runs.
+FULL_SIZE = PACKETS >= 2000
+
+#: Lane widths of the raw batched sweep (ISSUE 6).
+BATCH_WIDTHS = (1, 8, 64, 512)
 
 #: Conservative regression floors (soft, far below typical results) so
 #: the bench doubles as a CI guard without flaking on noisy runners.
@@ -59,6 +67,12 @@ EXACTNESS_BOUND = 1e-9
 #: Observability contract: with metrics absent/disabled, the per-packet
 #: hot path may cost at most this fraction more than the bare path.
 METRICS_DISABLED_OVERHEAD_BOUND = 0.02
+#: Soft floors of the batched section (full-size runs only).  The
+#: checked-in JSON carries the real numbers; these only catch gross
+#: regressions without flaking on noisy runners.
+MIN_BATCHED_SPEEDUP_F32 = 1.5  # raw, batch >= 64, vs same-run scalar f32
+MIN_STEADY_SPEEDUP = 4.0  # memoized steady state vs same-run scalar f32
+MIN_STEADY_HIT_RATE = 0.8
 
 
 def _model_and_standardizer(cell: str, heads: str) -> tuple[MicroModel, Standardizer]:
@@ -149,6 +163,138 @@ def _bench_variant(cell: str, heads: str) -> dict[str, float]:
     }
 
 
+def _time_batched(engine, feature_rounds, macro_rounds, rows) -> float:
+    width = len(rows)
+    start = time.perf_counter()
+    for feats, macros in zip(feature_rounds, macro_rounds):
+        engine.predict_rows(feats, macros, rows)
+    return (time.perf_counter() - start) / (len(feature_rounds) * width)
+
+
+def _bench_batched() -> dict:
+    """The lane-batched engine (ISSUE 6): raw GEMM batching by width,
+    plus the memoized steady state on a periodic workload.
+
+    Two honestly separated numbers:
+
+    * ``raw`` — ``predict_rows`` at full width, every packet computed.
+      Bounded below by the per-packet GEMM floor of this machine, so
+      the curve flattens once the weights are read once per round.
+    * ``steady_state`` — quantized-key memoization (``exact=False``)
+      under a periodic feature stream, *after* cache warmup: the regime
+      the cache targets (steady traffic repeating its regime), where
+      packets stop paying for GEMMs at all.  The hit rate is reported
+      alongside — the speedup only applies where the workload actually
+      revisits cached transitions.
+
+    Speedups are against the *same-run* scalar fused float32 engine —
+    the strongest pre-existing path, measured here under identical
+    conditions rather than read from a previous JSON.
+    """
+    model, standardizer = _model_and_standardizer("lstm", "shared")
+    kwargs = dict(
+        feature_mean=standardizer.mean, feature_std=standardizer.std
+    )
+    compiled64 = compile_inference(
+        model.lstm, model.drop_head, model.latency_head, dtype=np.float64, **kwargs
+    )
+    compiled32 = compile_inference(
+        model.lstm, model.drop_head, model.latency_head, dtype=np.float32, **kwargs
+    )
+    input_size = model.config.input_size
+    features = np.random.default_rng(11).normal(size=(4000, input_size))
+
+    # Scalar baseline and every width run interleaved trials (machine
+    # speed drifts on shared runners; a baseline measured once before
+    # the sweep would make every speedup a comparison across epochs).
+    scalar32 = compiled32.engine()
+    pool = [features[i] for i in range(len(features))]
+    setups = {}
+    for width in BATCH_WIDTHS:
+        rows = list(range(width))
+        rounds = max(2, PACKETS // width)
+        feature_rounds = [
+            [pool[(r * width + i) % len(pool)] for i in range(width)]
+            for r in range(rounds)
+        ]
+        macro_rounds = [
+            [(r + i) % 4 for i in range(width)] for r in range(rounds)
+        ]
+        engines = {
+            "f32": make_batched_engine(compiled32, width),
+            "f64": make_batched_engine(compiled64, width),
+        }
+        setups[width] = (rows, feature_rounds, macro_rounds, engines)
+
+    _time_engine(scalar32, features, WARMUP)
+    for width, (rows, feature_rounds, macro_rounds, engines) in setups.items():
+        for engine in engines.values():
+            _time_batched(
+                engine, feature_rounds[: max(1, WARMUP // width)],
+                macro_rounds, rows,
+            )
+    scalar_trials: list[float] = []
+    raw_trials: dict[tuple, list[float]] = {
+        (width, label): [] for width in BATCH_WIDTHS for label in ("f32", "f64")
+    }
+    for _ in range(TRIALS):
+        scalar_trials.append(_time_engine(scalar32, features, PACKETS))
+        for width, (rows, feature_rounds, macro_rounds, engines) in setups.items():
+            for label, engine in engines.items():
+                raw_trials[(width, label)].append(
+                    _time_batched(engine, feature_rounds, macro_rounds, rows)
+                )
+    scalar_us = min(scalar_trials) * 1e6
+    raw: dict[str, dict[str, float]] = {}
+    for width in BATCH_WIDTHS:
+        entry: dict[str, float] = {}
+        for label in ("f32", "f64"):
+            per_packet = min(raw_trials[(width, label)])
+            entry[f"{label}_us"] = per_packet * 1e6
+            entry[f"speedup_{label}"] = scalar_us / (per_packet * 1e6)
+        raw[str(width)] = entry
+
+    # Steady state: 64 lanes fed an exactly periodic stream; warm the
+    # cache until the quantized orbit closes, then time pure hits.
+    width = 64
+    period = 4
+    rows = list(range(width))
+    engine = make_batched_engine(
+        compiled32, width, memo=MemoConfig(exact=False)
+    )
+    rng = np.random.default_rng(12)
+    periodic = [rng.normal(size=input_size) for _ in range(period)]
+    warmup_rounds = 4500 if FULL_SIZE else 30
+    measure_rounds = 1500 if FULL_SIZE else 10
+    step = 0
+    for _ in range(warmup_rounds):
+        engine.predict_rows(
+            [periodic[step % period]] * width, [step % 4] * width, rows
+        )
+        step += 1
+    engine.memo_hits = engine.memo_misses = 0
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        for _ in range(measure_rounds):
+            engine.predict_rows(
+                [periodic[step % period]] * width, [step % 4] * width, rows
+            )
+            step += 1
+        best = min(best, (time.perf_counter() - start) / (measure_rounds * width))
+    seen = engine.memo_hits + engine.memo_misses
+    steady_us = best * 1e6
+    steady = {
+        "batch": width,
+        "workload": f"period-{period} feature stream, all lanes",
+        "warmup_rounds": warmup_rounds,
+        "us_per_packet": steady_us,
+        "hit_rate": engine.memo_hits / seen if seen else 0.0,
+        "speedup": scalar_us / steady_us,
+    }
+    return {"scalar_f32_us": scalar_us, "raw": raw, "steady_state": steady}
+
+
 def _bench_metrics_overhead() -> dict[str, float]:
     """Per-packet cost of the observability layer on the hybrid hot path.
 
@@ -211,18 +357,34 @@ def _bench_metrics_overhead() -> dict[str, float]:
     run_bare(WARMUP)
     run_guarded(WARMUP, None, None)
     run_guarded(WARMUP, live_infer, live_latency)
+    # The asserted quantity is a ~1% ratio between two near-identical
+    # loops, far below this class of shared runner's drift.  So the
+    # conditions run as back-to-back *pairs* of short chunks — noise
+    # slow enough to cover a whole pair cancels in the per-pair ratio —
+    # and the overhead is the median ratio, immune to the occasional
+    # chunk that eats a scheduling burst.  Minima over the same chunks
+    # still report the absolute per-packet floors.
+    import statistics
+
+    chunk = 100
+    pairs = max(1, TRIALS * PACKETS // chunk)
     bare_s, disabled_s, enabled_s = [], [], []
-    for _ in range(TRIALS):
-        bare_s.append(run_bare(PACKETS))
-        disabled_s.append(run_guarded(PACKETS, None, None))
-        enabled_s.append(run_guarded(PACKETS, live_infer, live_latency))
-    bare, disabled, enabled = min(bare_s), min(disabled_s), min(enabled_s)
+    disabled_ratio, enabled_ratio = [], []
+    for _ in range(pairs):
+        bare_i = run_bare(chunk)
+        disabled_i = run_guarded(chunk, None, None)
+        enabled_i = run_guarded(chunk, live_infer, live_latency)
+        bare_s.append(bare_i)
+        disabled_s.append(disabled_i)
+        enabled_s.append(enabled_i)
+        disabled_ratio.append(disabled_i / bare_i)
+        enabled_ratio.append(enabled_i / bare_i)
     return {
-        "bare_us": bare * 1e6,
-        "disabled_us": disabled * 1e6,
-        "enabled_us": enabled * 1e6,
-        "disabled_overhead": disabled / bare - 1.0,
-        "enabled_overhead": enabled / bare - 1.0,
+        "bare_us": min(bare_s) * 1e6,
+        "disabled_us": min(disabled_s) * 1e6,
+        "enabled_us": min(enabled_s) * 1e6,
+        "disabled_overhead": statistics.median(disabled_ratio) - 1.0,
+        "enabled_overhead": statistics.median(enabled_ratio) - 1.0,
     }
 
 
@@ -234,6 +396,7 @@ def test_hotpath_inference_speedup():
         "lstm_per_macro": ("lstm", "per_macro"),
     }
     results = {name: _bench_variant(*spec) for name, spec in variants.items()}
+    batched = _bench_batched()
     overhead = _bench_metrics_overhead()
 
     default = results["lstm"]
@@ -249,6 +412,7 @@ def test_hotpath_inference_speedup():
         "speedup_float64": default["speedup_float64"],
         "max_abs_diff_float64": default["max_abs_diff_float64"],
         "variants": results,
+        "batched": batched,
         "metrics_overhead": overhead,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -265,6 +429,30 @@ def test_hotpath_inference_speedup():
         ]
         for name, r in results.items()
     ]
+    steady = batched["steady_state"]
+    batched_rows = [
+        [
+            width,
+            f"{entry['f64_us']:.2f}",
+            f"{entry['f32_us']:.2f}",
+            f"{entry['speedup_f64']:.2f}x",
+            f"{entry['speedup_f32']:.2f}x",
+        ]
+        for width, entry in batched["raw"].items()
+    ]
+    batched_rows.append(
+        [
+            f"{steady['batch']} (memo)",
+            "-",
+            f"{steady['us_per_packet']:.2f}",
+            "-",
+            f"{steady['speedup']:.2f}x @ {steady['hit_rate']:.0%} hits",
+        ]
+    )
+    batched_table = format_table(
+        ["batch", "f64 us/pkt", "f32 us/pkt", "f64 speedup", "f32 speedup"],
+        batched_rows,
+    ) + f"\n(speedups vs same-run scalar fused f32: {batched['scalar_f32_us']:.2f} us/pkt)"
     overhead_table = format_table(
         ["obs mode", "us/pkt", "overhead"],
         [
@@ -289,6 +477,8 @@ def test_hotpath_inference_speedup():
             rows,
         )
         + "\n\n"
+        + batched_table
+        + "\n\n"
         + overhead_table,
     )
 
@@ -296,5 +486,17 @@ def test_hotpath_inference_speedup():
         assert r["max_abs_diff_float64"] <= EXACTNESS_BOUND, name
         assert r["speedup_float64"] >= MIN_SPEEDUP_F64, (name, r)
         assert r["speedup_float32"] >= MIN_SPEEDUP_F32, (name, r)
-    # The obs contract: not measuring must be (near-)free.
-    assert overhead["disabled_overhead"] < METRICS_DISABLED_OVERHEAD_BOUND, overhead
+    if FULL_SIZE:
+        # Smoke runs time too few rounds (and too few chunk pairs, for
+        # the overhead median) for these to be meaningful; full-size
+        # runs gate them.
+        # The obs contract: not measuring must be (near-)free.
+        assert (
+            overhead["disabled_overhead"] < METRICS_DISABLED_OVERHEAD_BOUND
+        ), overhead
+        for width in ("64", "512"):
+            assert (
+                batched["raw"][width]["speedup_f32"] >= MIN_BATCHED_SPEEDUP_F32
+            ), (width, batched)
+        assert steady["speedup"] >= MIN_STEADY_SPEEDUP, steady
+        assert steady["hit_rate"] >= MIN_STEADY_HIT_RATE, steady

@@ -72,6 +72,23 @@ def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batching_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="event-horizon inference batching window; 0 disables "
+        "(clamped to the minimum region latency for causality)",
+    )
+    parser.add_argument(
+        "--memoize", action="store_true",
+        help="cache steady-state inference outcomes (requires --batch-window)",
+    )
+    parser.add_argument(
+        "--memo-approximate", action="store_true",
+        help="accept quantized-key memo hits without exact verification "
+        "(faster; validate fidelity with `repro validate`)",
+    )
+
+
 def _metrics_from_args(args: argparse.Namespace):
     """An enabled registry iff ``--metrics-out`` was given, else None."""
     if getattr(args, "metrics_out", None) is None:
@@ -207,6 +224,9 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
         full_cluster=args.full_cluster,
         elide_remote_traffic=not args.keep_remote_traffic,
         single_black_box=args.single_black_box,
+        batch_window_s=args.batch_window,
+        memoize_inference=args.memoize,
+        memo_exact=not args.memo_approximate,
     )
     metrics = _metrics_from_args(args)
     result, _ = run_hybrid_simulation(
@@ -254,6 +274,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         region_cluster=args.region_cluster,
         full_cluster=args.full_cluster,
         elide_remote_traffic=args.elide_remote_traffic,
+        batch_window_s=args.batch_window,
+        memoize_inference=args.memoize,
+        memo_exact=not args.memo_approximate,
     )
     diff = run_differential_pair(
         config, trained, validate=validate_config, metrics=metrics
@@ -613,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--single-black-box", action="store_true",
         help="replace everything outside the full cluster with one model (Section 7)",
     )
+    _add_batching_arguments(hybrid)
     _add_metrics_argument(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
 
@@ -650,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", default=None, metavar="PATH",
         help="write the full fidelity report as JSON here",
     )
+    _add_batching_arguments(validate)
     _add_metrics_argument(validate)
     validate.set_defaults(handler=_cmd_validate)
 

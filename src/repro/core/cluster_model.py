@@ -192,6 +192,12 @@ class ApproximatedCluster(Entity):
         #: Per-packet outcome tap (see class docstring); resolved to a
         #: local in ``receive`` so the disabled cost is one branch.
         self.on_outcome = None
+        #: Event-horizon batching (see :mod:`repro.core.batcher`):
+        #: ``receive`` hands packets to the batcher instead of running
+        #: inference inline.  Wired by :meth:`enable_batching`; the
+        #: default costs one ``is not None`` branch per packet.
+        self._batcher = None
+        self._batch_engines: dict[Direction, tuple] = {}
         self._invariants = invariants
         if invariants is not None:
             invariants.watch_cluster(self)
@@ -235,8 +241,110 @@ class ApproximatedCluster(Entity):
             self.macro.on_transition = on_transition
 
     # ------------------------------------------------------------------
+    # Batched-inference wiring (see repro.core.batcher)
+    # ------------------------------------------------------------------
+    def enable_batching(self, batcher) -> None:
+        """Route arriving packets through ``batcher`` instead of inline
+        inference.  Requires a batch engine per trained direction (set
+        via :meth:`set_batch_engine`) and the fused path."""
+        if not self.use_fused:
+            raise ValueError(
+                f"{self.name}: batched inference requires the fused engine "
+                "(use_fused=True)"
+            )
+        missing = [
+            d for d in self.trained.directions if d not in self._batch_engines
+        ]
+        if missing:
+            raise ValueError(f"{self.name}: no batch engine for {missing}")
+        self._batcher = batcher
+        batcher.register(self)
+
+    def set_batch_engine(self, direction: Direction, engine, row: int) -> None:
+        """Assign this cluster's lane in a shared batched engine."""
+        self._batch_engines[direction] = (engine, row)
+
+    def add_inference_time(self, seconds: float) -> None:
+        """Attribute a share of a batched inference round to this
+        cluster (same accounting the inline path does per packet)."""
+        self.inference_seconds += seconds
+        if self._m_infer is not None:
+            self._m_infer.observe(seconds)
+
+    def batch_prepare(self, packet: Packet, arrival: float):
+        """Stage one held packet for a stacked inference round.
+
+        Mirrors :meth:`receive` up to (and excluding) the model step —
+        called by the batcher only after this cluster's previous packet
+        was finalized, so the extractor clocks and macro state read
+        here are exactly what the inline path would have seen.  The
+        clock is the packet's *arrival* time, not the flush time.
+        """
+        self.packets_handled += 1
+        direction = self.extractor.direction_of(packet)
+        bundle = self.trained.directions.get(direction)
+        if bundle is None:
+            direction = next(iter(self.trained.directions))
+            bundle = self.trained.directions[direction]
+        features = self.extractor.extract(
+            packet, arrival, self.macro.state, direction=direction
+        )
+        engine, row = self._batch_engines[direction]
+        return direction, bundle, features, self.macro.index, engine, row
+
+    def batch_finalize(
+        self,
+        packet: Packet,
+        arrival: float,
+        direction: Direction,
+        bundle,
+        drop_prob: float,
+        latency_norm: float,
+    ) -> None:
+        """Apply one batched model outcome.
+
+        Mirrors :meth:`receive` after the model step, with every clock
+        read replaced by the packet's arrival time: the drop Bernoulli
+        uses the same per-cluster stream in the same order, macro
+        observations and outcome taps carry arrival timestamps, and
+        conflict resolution serializes from ``arrival + latency`` —
+        bit-identical bookkeeping to the inline float64 path.
+        """
+        now = arrival
+        if self.rng.random() < drop_prob:
+            self.packets_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
+            self.macro.observe(now, dropped=True)
+            if self.on_outcome is not None:
+                self.on_outcome(now, None, True)
+            return
+
+        latency = bundle.latency_from_norm(latency_norm)
+        latency = min(max(latency, MIN_REGION_LATENCY_S), MAX_REGION_LATENCY_S)
+        self.latency_stats.add(latency)
+        if self._m_latency is not None:
+            self._m_latency.observe(latency)
+        self.macro.observe(now, latency_s=latency)
+        if self.on_outcome is not None:
+            self.on_outcome(now, latency, False)
+
+        target = self._egress_node(packet, direction)
+        boundary = self._boundary_node(target)
+        deliver_at = self._resolve_conflict(target, now + latency, packet)
+        entity = self.resolve_entity(target)
+        self.packets_delivered += 1
+        if self._invariants is not None:
+            self._invariants.check_latency(self.name, now, latency)
+            self._invariants.check_delivery(self.name, target, now, deliver_at)
+        self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
+
+    # ------------------------------------------------------------------
     def receive(self, packet: Packet, from_node: str) -> None:
         """Handle one packet crossing into the approximated region."""
+        if self._batcher is not None:
+            self._batcher.enqueue(self, packet)
+            return
         self.packets_handled += 1
         now = self.now
         direction = self.extractor.direction_of(packet)
@@ -247,7 +355,7 @@ class ApproximatedCluster(Entity):
             direction = next(iter(self.trained.directions))
             bundle = self.trained.directions[direction]
         features = self.extractor.extract(packet, now, self.macro.state, direction=direction)
-        macro_index = self.macro.state.value - 1
+        macro_index = self.macro.index
         if self.use_fused:
             # The engine consumes raw features (the standardizer is
             # folded into its layer-0 weights) and keeps its hidden

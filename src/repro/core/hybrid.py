@@ -64,6 +64,28 @@ class HybridConfig:
     inference_dtype:
         Engine precision — ``"float64"`` (default, reference-exact to
         <= 1e-9) or ``"float32"`` (opt-in speed mode).
+    batch_window_s:
+        Event-horizon inference batching window (see
+        :mod:`repro.core.batcher`): packets arriving at any
+        approximated cluster within the window are flushed as one
+        stacked GEMM round.  Clamped to the causality bound
+        (``MIN_REGION_LATENCY_S``); ``0`` (default) disables batching.
+        Requires ``use_fused_inference``.
+    memoize_inference:
+        Steady-state memoization on the batched engines (see
+        :class:`~repro.nn.batch.MemoConfig`): repeated
+        (features, hidden state, macro) transitions replay from a
+        cache instead of running the model.  Only takes effect with a
+        positive ``batch_window_s``.
+    memo_exact:
+        Require exact array equality on cache hits (default): memoized
+        runs stay bit-identical to unmemoized ones.  Off allows
+        quantized-key hits — much higher hit rates under near-periodic
+        traffic, gated by ``repro validate`` instead of exactness.
+    memo_feature_decimals, memo_state_decimals:
+        Quantization (decimal places) of the cache keys.
+    memo_max_entries:
+        FIFO capacity of each engine's cache.
     """
 
     full_cluster: int = 0
@@ -72,6 +94,12 @@ class HybridConfig:
     single_black_box: bool = False
     use_fused_inference: bool = True
     inference_dtype: str = "float64"
+    batch_window_s: float = 0.0
+    memoize_inference: bool = False
+    memo_exact: bool = True
+    memo_feature_decimals: int = 6
+    memo_state_decimals: int = 4
+    memo_max_entries: int = 8192
 
 
 class HybridSimulation:
@@ -211,6 +239,80 @@ class HybridSimulation:
             node.name: node.cluster for node in topology.servers()
         }
 
+        #: The shared :class:`~repro.core.batcher.InferenceBatcher`
+        #: (``None`` when ``batch_window_s == 0``).
+        self.batcher = None
+        self._batch_engines: list = []
+        if self.config.batch_window_s > 0:
+            self._enable_batching(metrics)
+
+    # ------------------------------------------------------------------
+    def _enable_batching(self, metrics) -> None:
+        """Wire every approximated cluster into one shared batcher.
+
+        Clusters sharing a compiled direction model (the paper's
+        reusable-model configuration — and the common case) become
+        lanes of one :class:`~repro.nn.batch.BatchedFusedEngine`, so a
+        flush round advances all of them with a single stacked GEMM.
+        Independently trained per-cluster models simply form more
+        groups with fewer lanes each.
+        """
+        from repro.core.batcher import InferenceBatcher
+        from repro.nn.batch import MemoConfig, make_batched_engine
+
+        config = self.config
+        if not config.use_fused_inference:
+            raise ValueError(
+                "batch_window_s requires use_fused_inference=True "
+                "(the reference predict_step path has no batched form)"
+            )
+        memo = None
+        if config.memoize_inference:
+            memo = MemoConfig(
+                feature_decimals=config.memo_feature_decimals,
+                state_decimals=config.memo_state_decimals,
+                max_entries=config.memo_max_entries,
+                exact=config.memo_exact,
+            )
+        # Group (cluster, direction) pairs by compiled weight identity.
+        # Iteration over self.models is insertion-ordered, making lane
+        # assignment (and therefore the whole run) deterministic.
+        groups: dict[int, list] = {}
+        for model in self.models.values():
+            compiled = model.trained.compiled(config.inference_dtype)
+            for direction, compiled_dir in compiled.directions.items():
+                groups.setdefault(id(compiled_dir), []).append(
+                    (model, direction, compiled_dir)
+                )
+        self._batch_engines = []
+        for members in groups.values():
+            compiled_dir = members[0][2]
+            direction = members[0][1]
+            engine = make_batched_engine(
+                compiled_dir,
+                n_lanes=len(members),
+                memo=memo,
+                metrics=metrics,
+                direction_label=direction.name.lower(),
+            )
+            self._batch_engines.append(engine)
+            for row, (model, member_direction, _) in enumerate(members):
+                model.set_batch_engine(member_direction, engine, row)
+        self.batcher = InferenceBatcher(
+            self.sim, config.batch_window_s, metrics=metrics
+        )
+        for model in self.models.values():
+            model.enable_batching(self.batcher)
+
+    def flush_inference(self) -> None:
+        """Flush any held packets (no-op without batching).
+
+        Must run before anything reads model state — end of run,
+        observability sampling, conservation checks.
+        """
+        if self.batcher is not None:
+            self.batcher.flush()
+
     # ------------------------------------------------------------------
     def _resolve_entity(self, name: str) -> object:
         """Late-bound entity lookup for model egress deliveries."""
@@ -269,6 +371,27 @@ class HybridSimulation:
             "inference_seconds": inference,
             "inference_seconds_per_packet": inference / packets if packets else 0.0,
         }
+        # Batching/memoization health — stable schema: the keys are
+        # present (zeroed) even when batching is off, so manifests and
+        # sweeps can always compare them across configurations.
+        batcher = self.batcher
+        memo_hits = memo_misses = 0
+        if batcher is not None:
+            for engine in self._batch_engines:
+                memo_hits += engine.memo_hits
+                memo_misses += engine.memo_misses
+        memo_total = memo_hits + memo_misses
+        counters["batched_rounds"] = float(batcher.batched_rounds) if batcher else 0.0
+        counters["batched_packets"] = (
+            float(batcher.batched_packets) if batcher else 0.0
+        )
+        counters["batch_flushes"] = float(batcher.flushes) if batcher else 0.0
+        counters["scalar_fallbacks"] = (
+            float(batcher.scalar_fallbacks) if batcher else 0.0
+        )
+        counters["memo_hits"] = float(memo_hits)
+        counters["memo_misses"] = float(memo_misses)
+        counters["memo_hit_rate"] = memo_hits / memo_total if memo_total else 0.0
         if wallclock_s is not None:
             positive = wallclock_s > 0
             counters["inference_share"] = inference / wallclock_s if positive else 0.0

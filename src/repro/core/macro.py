@@ -139,6 +139,11 @@ class AutoRegressiveMacroClassifier:
         self.bucket_s = bucket_s
         self.ema_alpha = ema_alpha
         self.state = MacroState.MINIMAL
+        #: ``state.value - 1`` maintained alongside ``state``: the
+        #: micro-model head index for the current regime.  The hybrid
+        #: hot path reads it per packet (and the batcher per batch
+        #: row), so it is stored rather than recomputed from the enum.
+        self.index = self.state.value - 1
         self.on_transition: Optional[
             "Callable[[MacroState, MacroState], None]"
         ] = None
@@ -232,6 +237,7 @@ class AutoRegressiveMacroClassifier:
                 self.state = MacroState.INCREASING
             else:
                 self.state = MacroState.DECREASING
+        self.index = self.state.value - 1
         if self.state is not before and self.on_transition is not None:
             self.on_transition(before, self.state)
 

@@ -321,6 +321,9 @@ def run_hybrid_simulation(
         attach_hybrid_probes(metrics, sim, hybrid_sim, period)
     generator.start()
     sim.run(until=config.duration_s)
+    # Drain any packets still inside the batching window so the result
+    # accounts for every arrival (no-op when batching is off).
+    hybrid_sim.flush_inference()
 
     result = RunResult(
         sim_seconds=config.duration_s,

@@ -1,0 +1,739 @@
+"""Batched fused inference: one stacked GEMM per layer across lanes.
+
+The fused engines of :mod:`repro.nn.infer` made a single packet cheap;
+this module makes *many concurrent packets* cheap.  Every approximated
+cluster sharing one compiled model keeps its per-direction recurrent
+state as a **lane** — one row of shared ``(n_lanes, hidden)`` state
+matrices — so a :meth:`BatchedFusedEngine.predict_batch` call advances
+all pending lanes with one stacked matrix product per layer instead of
+one GEMV chain per packet.  The weight matrices are then read once per
+*batch* rather than once per *packet*, which is exactly where the
+scalar engine's time goes (at 128 hidden units the weights are ~800 KB
+per packet — memory bandwidth, not FLOPs).
+
+Numerics contract (mirrors the scalar engines):
+
+* **float64 is bit-exact** with the scalar path.  On this BLAS a true
+  GEMM is *not* row-wise bit-identical to the equivalent GEMVs (dot
+  products are reassociated by blocking), so the float64 mode runs one
+  GEMV per row into a shared 2D scratch block and vectorizes only the
+  elementwise work (exp/tanh/adds *are* bit-identical across shapes).
+  Event-identity of batched hybrid runs rests on this.
+* **float32 uses real GEMMs** — the speed mode.  Within-tolerance, not
+  bit-identical, same as the scalar float32 engine's contract.
+
+Layered on top is a steady-state **memoization cache** (see
+``PAPERS.md``: memoization and fast-forwarding for packet-level
+simulation).  Keys are quantized ``(macro_index, features, state)``
+triples; by default a hit additionally requires *exact* equality of
+the stored feature/state arrays, so a hit returns byte-identical
+results and memoized runs stay event-identical with unmemoized ones.
+(In practice recurrent float orbits almost never repeat *exactly* —
+exact mode is the safe default, not the fast one; the speed comes from
+``exact=False``, where a quantized-key match alone is accepted.)  On a
+hit the cache **fast-forwards**: the lane's state becomes a pointer
+into a successor chain of cache entries and each packet costs one
+feature quantization and a dict probe — no state touch, no GEMM at
+all — until the first miss restores the real matrices and resumes
+computing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.infer import (
+    _GATE_CLIP,
+    _LOGIT_FLOOR,
+    CompiledRecurrentModel,
+)
+
+__all__ = ["BatchedFusedEngine", "MemoConfig", "make_batched_engine"]
+
+
+class MemoConfig:
+    """Steady-state memoization options (see module docstring).
+
+    Parameters
+    ----------
+    feature_decimals, state_decimals:
+        Quantization used to build hash keys: values are rounded to
+        this many decimals before hashing.  Coarser keys mean more
+        candidate hits; with ``exact`` on, a key collision is resolved
+        by array comparison and only costs a miss.
+    max_entries:
+        FIFO capacity of the global key table.  Entries referenced by
+        live successor chains stay reachable after eviction (the chain
+        holds them directly); eviction only stops *new* lookups from
+        finding them.
+    exact:
+        Require exact array equality on top of the quantized key
+        (default).  Guarantees memoized results are bit-identical to
+        recomputation.  Off trades that guarantee for a higher hit
+        rate under near-periodic (not exactly converged) traffic; the
+        fidelity gate (``repro validate``) is the guard rail then.
+    """
+
+    __slots__ = ("feature_decimals", "state_decimals", "max_entries", "exact")
+
+    def __init__(
+        self,
+        feature_decimals: int = 6,
+        state_decimals: int = 4,
+        max_entries: int = 8192,
+        exact: bool = True,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.feature_decimals = feature_decimals
+        self.state_decimals = state_decimals
+        self.max_entries = max_entries
+        self.exact = exact
+
+
+class _MemoEntry:
+    """One cached transition: (state, features, macro) -> outcome.
+
+    ``prev_state`` / ``state`` are exact flat copies of the lane state
+    before and after the step; ``successors`` maps
+    ``(macro_index, feature_key)`` to the entry reached next — the
+    fast-forward chain.
+    """
+
+    __slots__ = (
+        "features",
+        "prev_state",
+        "state",
+        "drop_prob",
+        "latency_norm",
+        "successors",
+    )
+
+    def __init__(self, features, prev_state, state, drop_prob, latency_norm) -> None:
+        self.features = features
+        self.prev_state = prev_state
+        self.state = state
+        self.drop_prob = drop_prob
+        self.latency_norm = latency_norm
+        self.successors: dict = {}
+
+
+class BatchedFusedEngine:
+    """Base of the lane-batched hot-path executors.
+
+    Parameters
+    ----------
+    compiled:
+        Shared read-only weights (one direction of one trained model).
+    n_lanes:
+        Number of independent recurrent streams (one per approximated
+        cluster sharing these weights).  Also the maximum batch width.
+    memo:
+        Optional :class:`MemoConfig` enabling the steady-state cache.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; hit/miss counters
+        (``infer.memo_hits`` / ``infer.memo_misses``) resolve once here.
+    direction_label:
+        Label for those counters.
+
+    The public surface is three calls:
+
+    * :meth:`predict_batch` — the raw stacked step over distinct lanes;
+    * :meth:`predict_one` — single-lane step (the causality fallback),
+      bit-identical to a width-1 batch;
+    * :meth:`predict_rows` — what the batcher uses: memoization (when
+      enabled) wrapped around the two above.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledRecurrentModel,
+        n_lanes: int,
+        memo: Optional[MemoConfig] = None,
+        metrics=None,
+        direction_label: str = "all",
+    ) -> None:
+        if n_lanes <= 0:
+            raise ValueError(f"n_lanes must be positive, got {n_lanes}")
+        self.compiled = compiled
+        self.n_lanes = n_lanes
+        self.steps = 0
+        dtype = compiled.dtype
+        self._exact = dtype == np.dtype(np.float64)
+        self._head_out = np.empty((n_lanes, 2), dtype=dtype)
+        self._all_rows = list(range(n_lanes))
+        if compiled.per_macro:
+            self._head_w = tuple(
+                compiled.head_weight[k] for k in range(compiled.head_weight.shape[0])
+            )
+            if not self._exact:
+                # float32 head fast path: one (B, H+1) @ (H+1, 2K) GEMM
+                # computing every macro's heads, then a flat gather of
+                # each row's pair — K is tiny (4), the 4x extra FLOPs
+                # are far cheaper than B BLAS dispatches.
+                k, hp1, _ = compiled.head_weight.shape
+                self._head_w_flat = np.ascontiguousarray(
+                    compiled.head_weight.transpose(1, 0, 2).reshape(hp1, 2 * k)
+                )
+                self._head_flat = np.empty((n_lanes, 2 * k), dtype=dtype)
+                self._head_stride = 2 * k
+        else:
+            self._head_w = None
+        # Feature packing buffer for predict_rows/predict_one (raw
+        # float64 extractor output; the dtype cast happens on copy into
+        # the work arena, same as the scalar engine).
+        self._fpack = np.empty((n_lanes, compiled.input_size), dtype=np.float64)
+
+        # -- memoization state ------------------------------------------
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._memo_config = memo
+        self._memo: dict = {}
+        self._lane_entry: list = [None] * n_lanes
+        self._lane_virtual = [False] * n_lanes
+        self._m_hits = None
+        self._m_misses = None
+        if memo is not None:
+            self._fscale = 10.0 ** memo.feature_decimals
+            self._sscale = 10.0 ** memo.state_decimals
+            self._qfeat = np.empty((n_lanes, compiled.input_size), dtype=np.float64)
+            self._qstate = np.empty(self._state_size(), dtype=np.float64)
+            self._sbuf = np.empty(self._state_size(), dtype=dtype)
+        if metrics is not None and metrics.handles_enabled() and memo is not None:
+            self._m_hits = metrics.counter(
+                "infer.memo_hits", direction=direction_label
+            )
+            self._m_misses = metrics.counter(
+                "infer.memo_misses", direction=direction_label
+            )
+
+    # -- abstract lane-state plumbing (subclass responsibilities) -------
+    def _state_size(self) -> int:
+        raise NotImplementedError
+
+    def _capture_state(self, row: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Exact flat copy of lane ``row``'s full recurrent state."""
+        raise NotImplementedError
+
+    def _restore_state(self, row: int, flat: np.ndarray) -> None:
+        """Write a captured state back into lane ``row``."""
+        raise NotImplementedError
+
+    def predict_batch(
+        self,
+        features,
+        macro_indices: Sequence[int],
+        rows: Sequence[int],
+    ) -> list:
+        """Advance each listed lane one step; one stacked product per layer.
+
+        ``features`` is ``(B, F)`` raw (unstandardized) features,
+        ``macro_indices`` and ``rows`` are length-B sequences; **rows
+        must be distinct** (the batcher's one-packet-per-lane rounds
+        guarantee this).  Returns ``[(drop_prob, latency_norm), ...]``
+        in input order; float64 results are bit-identical to B scalar
+        ``predict`` calls on independent engines.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero every lane (fresh packet streams) and drop the cache."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def predict_one(self, features: np.ndarray, macro_index: int, row: int):
+        """Single-lane step — the width-1 causality fallback."""
+        pack = self._fpack[:1]
+        pack[0] = features
+        return self.predict_batch(pack, (macro_index,), (row,))[0]
+
+    def _reset_memo(self) -> None:
+        self._memo.clear()
+        self._lane_entry = [None] * self.n_lanes
+        self._lane_virtual = [False] * self.n_lanes
+
+    # ------------------------------------------------------------------
+    # Heads (shared by both cells; bit-identical to the scalar _heads)
+    # ------------------------------------------------------------------
+    def _read_heads(self, top: np.ndarray, macro_indices, batch: int) -> list:
+        """Stacked-head readout for the batch.
+
+        float64 mirrors the scalar ``_heads`` exactly: one tiny GEMV
+        per row plus the ``math.exp`` sigmoid with its logit floor.
+        float32 batches the readout — one GEMM for the whole batch and
+        a vectorized sigmoid (within-tolerance mode, so reassociation
+        is fine and B BLAS dispatches collapse to one).
+        """
+        head_w = self._head_w
+        if self._exact:
+            out = self._head_out[:batch]
+            if head_w is not None:
+                for i in range(batch):
+                    np.dot(top[i], head_w[macro_indices[i]], out=out[i])
+            else:
+                shared = self.compiled.head_weight
+                for i in range(batch):
+                    np.dot(top[i], shared, out=out[i])
+            results = []
+            exp = math.exp
+            for i in range(batch):
+                logit = float(out[i, 0])
+                drop = 1.0 / (1.0 + exp(-logit)) if logit > _LOGIT_FLOOR else 0.0
+                results.append((drop, float(out[i, 1])))
+            return results
+        if head_w is not None:
+            flat = self._head_flat[:batch]
+            np.dot(top, self._head_w_flat, out=flat)
+            base = np.asarray(macro_indices, dtype=np.intp) * 2
+            base += np.arange(batch, dtype=np.intp) * self._head_stride
+            view = flat.reshape(-1)
+            logits = view[base].astype(np.float64)
+            latencies = view[base + 1].astype(np.float64)
+        else:
+            out = self._head_out[:batch]
+            np.dot(top, self.compiled.head_weight, out=out)
+            logits = out[:, 0].astype(np.float64)
+            latencies = out[:, 1].astype(np.float64)
+        # Vectorized 1/(1+exp(-z)) with the reference logit floor; the
+        # inner minimum keeps exp() out of overflow for floored rows.
+        z = np.minimum(-logits, 709.0)
+        np.exp(z, out=z)
+        np.add(z, 1.0, out=z)
+        np.reciprocal(z, out=z)
+        z[logits <= _LOGIT_FLOOR] = 0.0
+        return list(zip(z.tolist(), latencies.tolist()))
+
+    # ------------------------------------------------------------------
+    # Memoization
+    # ------------------------------------------------------------------
+    def _quantize(self, values: np.ndarray, scale: float, buf: np.ndarray) -> bytes:
+        np.multiply(values, scale, out=buf)
+        np.rint(buf, out=buf)
+        return buf.tobytes()
+
+    def predict_rows(
+        self,
+        features_list: Sequence[np.ndarray],
+        macro_indices: Sequence[int],
+        rows: Sequence[int],
+    ) -> list:
+        """Memo-aware batch step over distinct lanes.
+
+        Without a cache this is just feature packing + the raw batch
+        (or the width-1 fallback).  With one, each lane first tries the
+        fast-forward chain, then the global key table; only misses
+        reach :meth:`predict_batch`, and every miss installs a new
+        entry linked into its predecessor's chain.
+        """
+        batch = len(rows)
+        if self._memo_config is None:
+            if batch == 1:
+                return [self.predict_one(features_list[0], macro_indices[0], rows[0])]
+            pack = self._fpack[:batch]
+            for i in range(batch):
+                pack[i] = features_list[i]
+            return self.predict_batch(pack, macro_indices, rows)
+        return self._predict_rows_memo(features_list, macro_indices, rows)
+
+    def _predict_rows_memo(self, features_list, macro_indices, rows) -> list:
+        exact = self._memo_config.exact
+        batch = len(rows)
+        # Feature quantization is the whole cost of a fast-forward hit,
+        # so it runs vectorized over the packed block — three numpy
+        # calls per *batch*, then one ``tobytes`` per lane — instead of
+        # three calls per packet.
+        pack = self._fpack[:batch]
+        for i in range(batch):
+            pack[i] = features_list[i]
+        qblock = self._qfeat[:batch]
+        np.multiply(pack, self._fscale, out=qblock)
+        np.rint(qblock, out=qblock)
+        results: list = [None] * batch
+        pending: list = []  # (i, row, fkey, prev_entry)
+        lane_entry = self._lane_entry
+        lane_virtual = self._lane_virtual
+        hits = 0
+        for i, row in enumerate(rows):
+            features = features_list[i]
+            fkey = (macro_indices[i], qblock[i].tobytes())
+            entry = lane_entry[row]
+            if entry is not None:
+                nxt = entry.successors.get(fkey)
+                if nxt is not None and (
+                    not exact or np.array_equal(nxt.features, features)
+                ):
+                    # Fast-forward: stay virtual, never touch matrices.
+                    results[i] = (nxt.drop_prob, nxt.latency_norm)
+                    lane_entry[row] = nxt
+                    lane_virtual[row] = True
+                    hits += 1
+                    continue
+                if lane_virtual[row]:
+                    self._restore_state(row, entry.state)
+                    lane_virtual[row] = False
+            skey = self._quantize(
+                self._capture_state(row, out=self._sbuf), self._sscale, self._qstate
+            )
+            key = (fkey, skey)
+            cand = self._memo.get(key)
+            if cand is not None and (
+                not exact
+                or (
+                    np.array_equal(cand.features, features)
+                    and np.array_equal(cand.prev_state, self._sbuf)
+                )
+            ):
+                results[i] = (cand.drop_prob, cand.latency_norm)
+                if entry is not None:
+                    # Close the chain: the lane state at ``entry`` is
+                    # (verifiably, in exact mode) ``cand.prev_state``,
+                    # so future walks fast-forward straight through
+                    # instead of re-paying restore + quantize + lookup
+                    # every time a cycle wraps past this transition.
+                    entry.successors[fkey] = cand
+                lane_entry[row] = cand
+                lane_virtual[row] = True
+                hits += 1
+                continue
+            # Miss: keep the predecessor entry (for chain linking) or,
+            # cold, an exact copy of the pre-step state for the new
+            # entry.  _sbuf already holds the live state.
+            prev_entry = entry
+            prev_state = entry.state if entry is not None else self._sbuf.copy()
+            pending.append((i, row, fkey, key, prev_entry, prev_state, features))
+        if hits:
+            self.memo_hits += hits
+            if self._m_hits is not None:
+                self._m_hits.inc(hits)
+        if pending:
+            self.memo_misses += len(pending)
+            if self._m_misses is not None:
+                self._m_misses.inc(len(pending))
+            if len(pending) == 1:
+                i, row, *_ , features = pending[0]
+                computed = [self.predict_one(features, macro_indices[i], row)]
+            else:
+                pack = self._fpack[: len(pending)]
+                for j, job in enumerate(pending):
+                    pack[j] = job[6]
+                computed = self.predict_batch(
+                    pack,
+                    [macro_indices[job[0]] for job in pending],
+                    [job[1] for job in pending],
+                )
+            memo = self._memo
+            cap = self._memo_config.max_entries
+            for job, outcome in zip(pending, computed):
+                i, row, fkey, key, prev_entry, prev_state, features = job
+                results[i] = outcome
+                new = _MemoEntry(
+                    features, prev_state, self._capture_state(row), *outcome
+                )
+                if len(memo) >= cap:
+                    # FIFO eviction; break the evictee's chain so dead
+                    # entries cannot keep arbitrarily long tails alive.
+                    evicted = memo.pop(next(iter(memo)))
+                    evicted.successors.clear()
+                memo[key] = new
+                if prev_entry is not None:
+                    prev_entry.successors[fkey] = new
+                self._lane_entry[row] = new
+                self._lane_virtual[row] = False
+        return results
+
+
+class _BatchedLstmEngine(BatchedFusedEngine):
+    """Lane-batched LSTM.
+
+    Persistent state is a ``(n_lanes, width)`` arena (same row layout
+    ``[features | h_0 | ... | 1.0]`` as the scalar engine's 1D arena)
+    plus one ``(n_lanes, H)`` cell matrix per layer.  A step gathers
+    the batch's rows into C-contiguous work blocks, runs the layer
+    stack on 2D views, and scatters the rows back — gather/scatter is
+    ~2 KB per packet against ~800 KB of weights saved per packet at
+    batch width 64.
+    """
+
+    def __init__(self, compiled, n_lanes, **kwargs) -> None:
+        if compiled.cell != "lstm":
+            raise ValueError(f"expected an lstm model, got {compiled.cell!r}")
+        dtype = compiled.dtype
+        n0 = compiled.input_size
+        hidden = compiled.hidden_size
+        width = n0 + compiled.num_layers * hidden + 1
+        self._n0 = n0
+        self._arena = np.zeros((n_lanes, width), dtype=dtype)
+        self._arena[:, -1] = 1.0
+        self._work = np.empty((n_lanes, width), dtype=dtype)
+        self._top_off = n0 + (compiled.num_layers - 1) * hidden
+        exact = dtype == np.dtype(np.float64)
+        self._layers = []
+        offset = 0
+        for layer in compiled.layers:
+            n, h = layer.input_size, layer.hidden_size
+            z = np.empty((n_lanes, 4 * h), dtype=dtype)
+            if exact:
+                # float64 runs per-row GEMVs on contiguous arena row
+                # slices directly; no packing, bias added separately
+                # (both required for bit-parity with the scalar engine).
+                packed = None
+                wb = None
+            else:
+                # float32: GEMM from a packed contiguous block with a
+                # trailing 1.0 column and the bias as a final weight
+                # row — the strided arena view costs ~40% GEMM time on
+                # this BLAS, and the fold drops the bias-add pass.
+                packed = np.empty((n_lanes, n + h + 1), dtype=dtype)
+                packed[:, -1] = 1.0
+                wb = np.ascontiguousarray(np.vstack([layer.weight, layer.bias]))
+            self._layers.append(
+                (
+                    layer.weight,
+                    layer.bias,
+                    offset,  # xh block starts here, spans n + h
+                    n + h,
+                    offset + n,  # this layer's h block
+                    z,
+                    np.empty((n_lanes, h), dtype=dtype),  # g / tanh(c) scratch
+                    np.empty((n_lanes, h), dtype=dtype),  # gathered cell work
+                    np.zeros((n_lanes, h), dtype=dtype),  # persistent cells
+                    h,
+                    packed,
+                    wb,
+                )
+            )
+            offset += n
+        super().__init__(compiled, n_lanes, **kwargs)
+
+    def _state_size(self) -> int:
+        hidden = self.compiled.hidden_size
+        return 2 * self.compiled.num_layers * hidden
+
+    def _capture_state(self, row, out=None):
+        hidden = self.compiled.hidden_size
+        flat = (
+            out
+            if out is not None
+            else np.empty(self._state_size(), dtype=self.compiled.dtype)
+        )
+        cursor = 0
+        for record in self._layers:
+            h_off, cells, h = record[4], record[8], record[9]
+            flat[cursor : cursor + h] = self._arena[row, h_off : h_off + h]
+            flat[cursor + h : cursor + 2 * h] = cells[row]
+            cursor += 2 * h
+        assert cursor == flat.shape[0]
+        return flat
+
+    def _restore_state(self, row, flat):
+        cursor = 0
+        for record in self._layers:
+            h_off, cells, h = record[4], record[8], record[9]
+            self._arena[row, h_off : h_off + h] = flat[cursor : cursor + h]
+            cells[row] = flat[cursor + h : cursor + 2 * h]
+            cursor += 2 * h
+
+    def reset(self) -> None:
+        self._arena.fill(0.0)
+        self._arena[:, -1] = 1.0
+        for record in self._layers:
+            record[8].fill(0.0)
+        self.steps = 0
+        self._reset_memo()
+
+    def predict_batch(self, features, macro_indices, rows):
+        batch = len(rows)
+        if batch == self.n_lanes and list(rows) == self._all_rows:
+            # Full-batch fast path: every lane steps, so the layer
+            # stack runs directly on the persistent matrices — no
+            # gather/scatter copies at all.
+            row_index = None
+            work = self._arena
+        else:
+            row_index = np.asarray(rows, dtype=np.intp)
+            work = self._work[:batch]
+            np.take(self._arena, row_index, axis=0, out=work)
+        exact = self._exact
+        work[:, : self._n0] = features
+        for (w, b, off, span, h_off, zbuf, gbuf, cwork, cells, h, packed, wb) in self._layers:
+            if row_index is None:
+                cw = cells
+            else:
+                cw = cwork[:batch]
+                np.take(cells, row_index, axis=0, out=cw)
+            xh = work[:, off : off + span]
+            z = zbuf[:batch]
+            if exact:
+                # One GEMV per row: bit-identical to the scalar engine
+                # (this BLAS's GEMM reassociates row dot products).
+                for i in range(batch):
+                    np.dot(xh[i], w, out=z[i])
+                np.add(z, b, out=z)
+            else:
+                pack = packed[:batch]
+                pack[:, :span] = xh
+                np.dot(pack, wb, out=z)
+            zi = z[:, :h]
+            zf = z[:, h : 2 * h]
+            zo = z[:, 2 * h : 3 * h]
+            zs = z[:, : 3 * h]
+            zg = z[:, 3 * h :]
+            if exact:
+                np.minimum(z, _GATE_CLIP, out=z)
+                np.maximum(z, -_GATE_CLIP, out=z)
+            else:
+                np.minimum(zs, _GATE_CLIP, out=zs)
+            g = gbuf[:batch]
+            np.tanh(zg, out=g)
+            np.exp(zs, out=zs)
+            np.add(zs, 1.0, out=zs)
+            np.reciprocal(zs, out=zs)
+            np.multiply(zf, cw, out=cw)
+            np.multiply(zi, g, out=g)
+            np.add(cw, g, out=cw)
+            if row_index is not None:
+                cells[row_index] = cw
+            np.tanh(cw, out=g)
+            np.multiply(zo, g, out=work[:, h_off : h_off + h])
+        if row_index is not None:
+            self._arena[row_index] = work
+        self.steps += batch
+        return self._read_heads(work[:, self._top_off :], macro_indices, batch)
+
+
+class _BatchedGruEngine(BatchedFusedEngine):
+    """Lane-batched GRU: two stacked products per layer, like the
+    scalar engine's two GEMVs.  Per layer the persistent state is a
+    ``(n_lanes, H + 1)`` matrix whose trailing column is the constant
+    1.0 that rides the folded-bias GEMV; the input work block carries
+    the same trailing 1.0 for layer 0.
+    """
+
+    def __init__(self, compiled, n_lanes, **kwargs) -> None:
+        if compiled.cell != "gru":
+            raise ValueError(f"expected a gru model, got {compiled.cell!r}")
+        dtype = compiled.dtype
+        self._xwork = np.empty((n_lanes, compiled.input_size + 1), dtype=dtype)
+        self._xwork[:, -1] = 1.0
+        self._layers = []
+        for layer in compiled.layers:
+            h = layer.hidden_size
+            state = np.zeros((n_lanes, h + 1), dtype=dtype)
+            state[:, -1] = 1.0
+            self._layers.append(
+                (
+                    layer.w_input,
+                    layer.w_recurrent,
+                    state,
+                    np.empty((n_lanes, h + 1), dtype=dtype),  # gathered state
+                    np.empty((n_lanes, 3 * h), dtype=dtype),  # pre
+                    np.empty((n_lanes, 3 * h), dtype=dtype),  # hu
+                    np.empty((n_lanes, h), dtype=dtype),  # z*h scratch
+                    h,
+                )
+            )
+        super().__init__(compiled, n_lanes, **kwargs)
+
+    def _state_size(self) -> int:
+        return sum(record[7] for record in self._layers)
+
+    def _capture_state(self, row, out=None):
+        flat = (
+            out
+            if out is not None
+            else np.empty(self._state_size(), dtype=self.compiled.dtype)
+        )
+        cursor = 0
+        for record in self._layers:
+            state, h = record[2], record[7]
+            flat[cursor : cursor + h] = state[row, :h]
+            cursor += h
+        return flat
+
+    def _restore_state(self, row, flat):
+        cursor = 0
+        for record in self._layers:
+            state, h = record[2], record[7]
+            state[row, :h] = flat[cursor : cursor + h]
+            cursor += h
+
+    def reset(self) -> None:
+        for record in self._layers:
+            record[2][:, :-1] = 0.0
+        self.steps = 0
+        self._reset_memo()
+
+    def predict_batch(self, features, macro_indices, rows):
+        batch = len(rows)
+        if batch == self.n_lanes and list(rows) == self._all_rows:
+            row_index = None  # full batch: run on the persistent state
+        else:
+            row_index = np.asarray(rows, dtype=np.intp)
+        exact = self._exact
+        xv = self._xwork[:batch]
+        xv[:, :-1] = features
+        top = None
+        for (w, u, state, swork, prebuf, hubuf, sbuf, h) in self._layers:
+            if row_index is None:
+                sw = state
+            else:
+                sw = swork[:batch]
+                np.take(state, row_index, axis=0, out=sw)
+            hview = sw[:, :h]
+            pre = prebuf[:batch]
+            hu = hubuf[:batch]
+            if exact:
+                for i in range(batch):
+                    np.dot(xv[i], w, out=pre[i])
+                    np.dot(hview[i], u, out=hu[i])
+            else:
+                np.dot(xv, w, out=pre)
+                np.dot(hview, u, out=hu)
+            gates = pre[:, : 2 * h]
+            pz = pre[:, :h]
+            pr = pre[:, h : 2 * h]
+            pn = pre[:, 2 * h :]
+            hu_gates = hu[:, : 2 * h]
+            hu_n = hu[:, 2 * h :]
+            np.add(gates, hu_gates, out=gates)
+            np.minimum(gates, _GATE_CLIP, out=gates)
+            if exact:
+                np.maximum(gates, -_GATE_CLIP, out=gates)
+            np.exp(gates, out=gates)
+            np.add(gates, 1.0, out=gates)
+            np.reciprocal(gates, out=gates)
+            s = sbuf[:batch]
+            np.multiply(pr, hu_n, out=hu_n)
+            np.add(pn, hu_n, out=pn)
+            np.tanh(pn, out=pn)
+            np.multiply(pz, hview, out=s)
+            np.subtract(1.0, pz, out=pz)
+            np.multiply(pz, pn, out=pn)
+            np.add(pn, s, out=hview)
+            if row_index is not None:
+                state[row_index] = sw
+            xv = sw  # next layer's input [h | 1]
+            top = sw
+        self.steps += batch
+        return self._read_heads(top, macro_indices, batch)
+
+
+def make_batched_engine(
+    compiled: CompiledRecurrentModel,
+    n_lanes: int,
+    memo: Optional[MemoConfig] = None,
+    metrics=None,
+    direction_label: str = "all",
+) -> BatchedFusedEngine:
+    """Build the lane-batched executor for one compiled model."""
+    cls = _BatchedLstmEngine if compiled.cell == "lstm" else _BatchedGruEngine
+    return cls(
+        compiled,
+        n_lanes,
+        memo=memo,
+        metrics=metrics,
+        direction_label=direction_label,
+    )

@@ -270,12 +270,21 @@ class FusedInferenceEngine:
     construction, a steady-state ``predict`` call allocates nothing.
     """
 
-    __slots__ = ("compiled", "steps", "_head_out")
+    __slots__ = ("compiled", "steps", "_head_out", "_head_w")
 
     def __init__(self, compiled: CompiledRecurrentModel) -> None:
         self.compiled = compiled
         self.steps = 0
         self._head_out = np.empty(2, dtype=compiled.dtype)
+        if compiled.per_macro:
+            # Pre-split the per-macro head stack into a tuple of 2D
+            # views: tuple indexing replaces a fresh ndarray view
+            # allocation per packet in _heads.
+            self._head_w = tuple(
+                compiled.head_weight[k] for k in range(compiled.head_weight.shape[0])
+            )
+        else:
+            self._head_w = None
 
     def predict(self, features: np.ndarray, macro_index: int = 0) -> tuple[float, float]:
         """One packet: raw (unstandardized) features in, state advanced
@@ -294,12 +303,12 @@ class FusedInferenceEngine:
         1.0, so the bias row folded into ``head_weight`` is added by
         the same GEMV — no separate bias pass.
         """
-        compiled = self.compiled
         out = self._head_out
-        if compiled.per_macro:
-            np.dot(hidden, compiled.head_weight[macro_index], out=out)
+        head_w = self._head_w
+        if head_w is not None:
+            np.dot(hidden, head_w[macro_index], out=out)
         else:
-            np.dot(hidden, compiled.head_weight, out=out)
+            np.dot(hidden, self.compiled.head_weight, out=out)
         logit = float(out[0])
         drop_prob = 1.0 / (1.0 + math.exp(-logit)) if logit > _LOGIT_FLOOR else 0.0
         return drop_prob, float(out[1])

@@ -56,6 +56,12 @@ class SimTimeProbes:
         self._samplers: list[tuple[str, Callable[[], float], dict[str, Any]]] = []
         self._event = None
         self._stopped = False
+        #: Optional zero-argument callable invoked at the top of every
+        #: tick, *before* any sampler runs.  The hybrid probe set uses
+        #: it to flush held inference batches so samplers never read
+        #: model state that excludes packets already inside the
+        #: batching window.
+        self.before_tick: Optional[Callable[[], None]] = None
 
     def add(self, name: str, fn: Callable[[], float], **labels: Any) -> "SimTimeProbes":
         """Register one sampler under ``probe.<name>`` (chainable)."""
@@ -77,6 +83,8 @@ class SimTimeProbes:
         self._event = None
 
     def _tick(self) -> None:
+        if self.before_tick is not None:
+            self.before_tick()
         now = self.sim.now
         self.ticks += 1
         registry = self.registry
@@ -136,6 +144,11 @@ def attach_hybrid_probes(
     if not registry.enabled:
         return None
     probes = SimTimeProbes(registry, sim, period_s)
+    # With event-horizon batching on, packets can be held when a tick
+    # fires; flush first so the sampled counters/macro states include
+    # everything that arrived before the tick (flushing early is always
+    # causally safe — see repro.core.batcher).
+    probes.before_tick = hybrid_sim.flush_inference
     network = hybrid_sim.network
     ports = list(network.ports().values())
     probes.add("queue_depth_bytes", network.total_queued_bytes)

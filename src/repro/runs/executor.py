@@ -42,6 +42,13 @@ _ZERO_COUNTERS = {
     "model_drops": 0.0,
     "inference_seconds": 0.0,
     "inference_seconds_per_packet": 0.0,
+    "batched_rounds": 0.0,
+    "batched_packets": 0.0,
+    "batch_flushes": 0.0,
+    "scalar_fallbacks": 0.0,
+    "memo_hits": 0.0,
+    "memo_misses": 0.0,
+    "memo_hit_rate": 0.0,
 }
 
 

@@ -64,6 +64,11 @@ class ValidateConfig:
         pair must carry identical offered workloads to be comparable.
     use_fused_inference, inference_dtype:
         Passed through to :class:`HybridConfig`.
+    batch_window_s, memoize_inference, memo_exact:
+        Passed through to :class:`HybridConfig` — this is how the
+        batched hot path and the memoization cache get validated: the
+        differential pair is the fidelity gate for any approximation
+        the fast path introduces.
     """
 
     region_cluster: int = 1
@@ -72,6 +77,9 @@ class ValidateConfig:
     elide_remote_traffic: bool = False
     use_fused_inference: bool = True
     inference_dtype: str = "float64"
+    batch_window_s: float = 0.0
+    memoize_inference: bool = False
+    memo_exact: bool = True
 
     def __post_init__(self) -> None:
         if self.region_cluster == self.full_cluster:
@@ -88,6 +96,9 @@ class ValidateConfig:
             macro_bucket_s=self.macro_bucket_s,
             use_fused_inference=self.use_fused_inference,
             inference_dtype=self.inference_dtype,
+            batch_window_s=self.batch_window_s,
+            memoize_inference=self.memoize_inference,
+            memo_exact=self.memo_exact,
         )
 
 
@@ -178,6 +189,9 @@ def run_differential_pair(
         )
     generator.start()
     sim.run(until=config.duration_s)
+    # Conservation counts every packet that entered an approximated
+    # cluster; drain held batches first so none are in flight.
+    hybrid_sim.flush_inference()
     checker.check_conservation(now=sim.now)
 
     hybrid_result = RunResult(

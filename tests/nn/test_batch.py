@@ -1,0 +1,220 @@
+"""Tests for the lane-batched inference engine (ISSUE 6 tentpole).
+
+The contract: ``predict_batch`` over B distinct lanes is equivalent to
+B *independent scalar engines* each taking one ``predict`` step — in
+float64 bit-exactly (event-identity of batched hybrid runs rests on
+this), in float32 within tolerance.  The memoization wrapper must be
+outcome-identical to the unmemoized engine in exact mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.micro import MicroModel, MicroModelConfig
+from repro.nn.infer import compile_inference
+from repro.nn.batch import MemoConfig, make_batched_engine
+
+F32_TOLERANCE = 5e-3
+
+
+def _make_model(cell, heads, input_size, hidden_size, num_layers, seed) -> MicroModel:
+    config = MicroModelConfig(
+        input_size=input_size,
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        cell=cell,
+        heads=heads,
+        seed=seed,
+    )
+    model = MicroModel(config, np.random.default_rng(seed))
+    rng = np.random.default_rng(seed + 1)
+    scale = 1.0 / np.sqrt(hidden_size)
+    for parameter in model.parameters():
+        parameter.value[...] = rng.normal(scale=scale, size=parameter.value.shape)
+    return model
+
+
+def _compiled(cell, heads, input_size, hidden_size, num_layers, seed, dtype):
+    model = _make_model(cell, heads, input_size, hidden_size, num_layers, seed)
+    return compile_inference(
+        model.lstm, model.drop_head, model.latency_head, dtype=dtype
+    )
+
+
+def _run_pair(compiled, n_lanes, schedule, seed, memo=None):
+    """Drive batched lanes and independent scalar engines through the
+    same per-lane feature streams; returns (batched, scalar) outcome
+    lists in schedule order.
+
+    ``schedule`` is a list of rounds; each round is a list of distinct
+    lane ids stepping together (ragged batches included).
+    """
+    batched = make_batched_engine(compiled, n_lanes, memo=memo)
+    scalars = [compiled.engine() for _ in range(n_lanes)]
+    rng = np.random.default_rng(seed + 7)
+    got, want = [], []
+    for rounds, rows in enumerate(schedule):
+        feats = [rng.normal(size=compiled.input_size) for _ in rows]
+        macros = [(rounds + row) % 4 for row in rows]
+        got.extend(batched.predict_rows(feats, macros, rows))
+        for x, m, row in zip(feats, macros, rows):
+            want.append(scalars[row].predict(x, macro_index=m))
+    return got, want
+
+
+def _schedule(n_lanes, rounds, rng):
+    """Random ragged schedule: each round steps a random subset of lanes."""
+    out = []
+    for _ in range(rounds):
+        width = int(rng.integers(1, n_lanes + 1))
+        rows = sorted(rng.choice(n_lanes, size=width, replace=False).tolist())
+        out.append(rows)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Property: batched == N independent scalar engines
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    cell=st.sampled_from(["lstm", "gru"]),
+    heads=st.sampled_from(["shared", "per_macro"]),
+    input_size=st.integers(min_value=1, max_value=6),
+    hidden_size=st.integers(min_value=1, max_value=8),
+    num_layers=st.integers(min_value=1, max_value=2),
+    n_lanes=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_batched_float64_bit_identical_property(
+    cell, heads, input_size, hidden_size, num_layers, n_lanes, seed
+):
+    compiled = _compiled(
+        cell, heads, input_size, hidden_size, num_layers, seed, np.float64
+    )
+    schedule = _schedule(n_lanes, rounds=8, rng=np.random.default_rng(seed + 13))
+    got, want = _run_pair(compiled, n_lanes, schedule, seed)
+    assert got == want  # bit-exact, not approx
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    cell=st.sampled_from(["lstm", "gru"]),
+    heads=st.sampled_from(["shared", "per_macro"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_batched_float32_within_tolerance_property(cell, heads, seed):
+    compiled = _compiled(cell, heads, 6, 16, 2, seed, np.float32)
+    schedule = _schedule(4, rounds=8, rng=np.random.default_rng(seed + 13))
+    got, want = _run_pair(compiled, 4, schedule, seed)
+    for (drop_b, lat_b), (drop_s, lat_s) in zip(got, want):
+        assert drop_b == pytest.approx(drop_s, abs=F32_TOLERANCE)
+        assert lat_b == pytest.approx(lat_s, abs=F32_TOLERANCE)
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru"])
+@pytest.mark.parametrize("heads", ["shared", "per_macro"])
+def test_batched_float64_long_stream_full_and_ragged(cell, heads):
+    """The paper-sized architecture over a long mixed schedule: full
+    batches (the in-place fast path) interleaved with ragged ones
+    (gather/scatter) and width-1 rounds (the fallback)."""
+    compiled = _compiled(cell, heads, 21, 64, 2, seed=3, dtype=np.float64)
+    rng = np.random.default_rng(29)
+    schedule = [[0, 1, 2, 3]] * 10 + _schedule(4, 30, rng) + [[2]] * 5 + [[0, 1, 2, 3]] * 10
+    got, want = _run_pair(compiled, 4, schedule, seed=3)
+    assert got == want
+
+
+def test_predict_one_is_width_one_batch():
+    compiled = _compiled("lstm", "shared", 8, 16, 1, seed=11, dtype=np.float64)
+    a = make_batched_engine(compiled, 3)
+    b = make_batched_engine(compiled, 3)
+    rng = np.random.default_rng(5)
+    for step in range(20):
+        x = rng.normal(size=8)
+        row = step % 3
+        assert a.predict_one(x, step % 4, row) == b.predict_rows(
+            [x], [step % 4], [row]
+        )[0]
+
+
+def test_reset_restores_fresh_lanes():
+    compiled = _compiled("gru", "per_macro", 5, 12, 2, seed=19, dtype=np.float64)
+    engine = make_batched_engine(compiled, 2, memo=MemoConfig())
+    rng = np.random.default_rng(6)
+    stream = [rng.normal(size=5) for _ in range(12)]
+    baseline = [engine.predict_rows([x], [i % 4], [i % 2]) for i, x in enumerate(stream)]
+    engine.reset()
+    assert engine.steps == 0
+    again = [engine.predict_rows([x], [i % 4], [i % 2]) for i, x in enumerate(stream)]
+    assert again == baseline
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    cell=st.sampled_from(["lstm", "gru"]),
+    heads=st.sampled_from(["shared", "per_macro"]),
+    n_lanes=st.integers(min_value=1, max_value=4),
+    period=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_exact_memo_is_outcome_identical_property(cell, heads, n_lanes, period, seed):
+    """Exact-mode memoization must never change any outcome — under a
+    periodic workload (the cache's target regime) hits are only taken
+    when they are provably byte-identical to recomputation."""
+    compiled = _compiled(cell, heads, 4, 8, 1, seed, np.float64)
+    rng = np.random.default_rng(seed + 13)
+    periodic = [rng.normal(size=4) for _ in range(period)]
+    plain = make_batched_engine(compiled, n_lanes)
+    memoized = make_batched_engine(compiled, n_lanes, memo=MemoConfig())
+    rows = list(range(n_lanes))
+    for step in range(30):
+        feats = [periodic[step % period] for _ in rows]
+        macros = [step % 4] * n_lanes
+        assert memoized.predict_rows(feats, macros, rows) == plain.predict_rows(
+            feats, macros, rows
+        )
+
+
+def test_approximate_memo_hits_and_fast_forwards():
+    """exact=False under an exactly periodic feature stream must start
+    hitting once the quantized state revisits a seen key, and a hit
+    must not corrupt the lane (the next miss restores real state)."""
+    compiled = _compiled("lstm", "shared", 4, 8, 1, seed=41, dtype=np.float64)
+    engine = make_batched_engine(
+        compiled, 1, memo=MemoConfig(exact=False, state_decimals=2)
+    )
+    rng = np.random.default_rng(8)
+    periodic = [rng.normal(size=4) for _ in range(3)]
+    for step in range(4000):
+        engine.predict_rows([periodic[step % 3]], [0], [0])
+    assert engine.memo_hits > 0
+    # Break the period: the miss path must restore concrete state and
+    # keep producing finite, sane outcomes.
+    drop, latency = engine.predict_rows([rng.normal(size=4)], [1], [0])[0]
+    assert 0.0 <= drop <= 1.0
+    assert np.isfinite(latency)
+
+
+def test_memo_capacity_is_bounded():
+    compiled = _compiled("gru", "shared", 4, 8, 1, seed=43, dtype=np.float64)
+    engine = make_batched_engine(compiled, 1, memo=MemoConfig(max_entries=16))
+    rng = np.random.default_rng(9)
+    for _ in range(200):  # every step is a distinct key -> all misses
+        engine.predict_rows([rng.normal(size=4)], [0], [0])
+    assert len(engine._memo) <= 16
+    assert engine.memo_misses == 200
+
+
+def test_rejects_bad_construction():
+    compiled = _compiled("lstm", "shared", 4, 8, 1, seed=47, dtype=np.float64)
+    with pytest.raises(ValueError):
+        make_batched_engine(compiled, 0)
+    with pytest.raises(ValueError):
+        MemoConfig(max_entries=0)
