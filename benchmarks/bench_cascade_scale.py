@@ -1,0 +1,212 @@
+"""Cascade scaling: all-DES vs. all-hybrid vs. the fidelity cascade.
+
+The cascade's economic argument (ISSUE 7 / DESIGN.md §10) is that on
+large fabrics almost all traffic is background-to-background, so
+diverting it to the fluid tier — while the focal cluster stays
+packet-level and the controller promotes only regions whose windowed
+scores breach budget — should beat even the all-hybrid configuration,
+whose every packet still pays for fabric events plus model inference.
+
+This benchmark prices that claim: for each fabric size it runs the
+same seeded workload under
+
+* ``des`` — :func:`run_full_simulation`, every packet simulated;
+* ``hybrid`` — :func:`run_hybrid_simulation` with remote-traffic
+  elision *off* (the same per-packet configuration the cascade's
+  HYBRID tier uses, so the comparison isolates tier placement);
+* ``cascade`` — :func:`run_cascade_simulation` with the default
+  flowsim-first tier map and the ISSUE's 0.35 K-S budget.
+
+and records wall-clock, events/second, the cascade's promotion count
+and per-tier packet split, plus two fidelity numbers against the
+all-DES run: the K-S distance of the focal cluster's RTT samples (the
+cascade's contract — the focal region is packet-simulated and must
+match) and of the fabric-wide FCT distribution (reported, unasserted:
+background flows ride the fluid tier by design).
+
+Results land in two places:
+
+* ``benchmarks/results/cascade_scale.txt`` — the usual bench table;
+* ``BENCH_scale.json`` at the repo root — machine-readable trajectory
+  file tracked in git, so per-PR scaling history is diffable.
+
+``REPRO_CASCADE_CLUSTERS`` (comma-separated fabric sizes) shrinks the
+sweep for CI smoke runs; the acceptance floors below only gate
+full-size runs (the checked-in JSON comes from one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import ks_distance
+from repro.cascade import CascadeConfig, TierBudget, run_cascade_simulation
+from repro.core.hybrid import HybridConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    run_full_simulation,
+    run_hybrid_simulation,
+)
+from repro.topology.clos import ClosParams
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_scale.json"
+
+#: Fabric sizes swept; override for CI smoke (e.g. "4,8").
+CLUSTERS = tuple(
+    int(c) for c in os.environ.get("REPRO_CASCADE_CLUSTERS", "8,32,128").split(",")
+)
+#: Simulated seconds per fabric size — smaller fabrics run longer so
+#: every cell has enough flows to score; unlisted sizes get the floor.
+DURATIONS = {4: 0.004, 8: 0.004, 16: 0.004, 32: 0.004}
+DEFAULT_DURATION = 0.002
+LOAD = 0.25
+SEED = 42
+
+#: The acceptance gate (ISSUE 7): at the gate fabric size the cascade
+#: must beat all-hybrid by this factor while the focal cluster's RTT
+#: distribution stays within the K-S budget of the all-DES run.
+GATE_CLUSTERS = 32
+MIN_CASCADE_SPEEDUP = 5.0
+FOCAL_KS_BUDGET = 0.35
+FULL_SIZE = GATE_CLUSTERS in CLUSTERS
+
+
+def _cascade_config(duration_s: float) -> CascadeConfig:
+    return CascadeConfig(
+        epoch_s=duration_s / 8,
+        window_epochs=3,
+        min_window_samples=4,
+        budget=TierBudget(ks=FOCAL_KS_BUDGET),
+    )
+
+
+def _run_one_size(clusters: int, trained) -> dict:
+    duration_s = DURATIONS.get(clusters, DEFAULT_DURATION)
+    config = ExperimentConfig(
+        clos=ClosParams(clusters=clusters),
+        load=LOAD,
+        duration_s=duration_s,
+        seed=SEED,
+    )
+
+    start = time.perf_counter()
+    full = run_full_simulation(config)
+    des_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hybrid_result, _ = run_hybrid_simulation(
+        config, trained, hybrid=HybridConfig(elide_remote_traffic=False)
+    )
+    hybrid_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cascade_result, cascade_sim = run_cascade_simulation(
+        config, trained, cascade=_cascade_config(duration_s)
+    )
+    cascade_s = time.perf_counter() - start
+
+    summary = cascade_result.summary
+    return {
+        "clusters": clusters,
+        "duration_s": duration_s,
+        "modes": {
+            "des": {
+                "wallclock_s": des_s,
+                "events": full.result.events_executed,
+                "events_per_sec": full.result.events_executed / des_s,
+                "flows_completed": full.result.flows_completed,
+            },
+            "hybrid": {
+                "wallclock_s": hybrid_s,
+                "events": hybrid_result.events_executed,
+                "events_per_sec": hybrid_result.events_executed / hybrid_s,
+                "flows_completed": hybrid_result.flows_completed,
+            },
+            "cascade": {
+                "wallclock_s": cascade_s,
+                "events": cascade_result.total_events,
+                "events_per_sec": cascade_result.total_events / cascade_s,
+                "flows_completed": cascade_result.total_flows_completed,
+                "promotions": summary["promotions"],
+                "demotions": summary["demotions"],
+                "flows_diverted": summary["flows_diverted"],
+                "per_tier_packets": summary["per_tier_packets"],
+            },
+        },
+        "speedup_vs_hybrid": hybrid_s / cascade_s,
+        "speedup_vs_des": des_s / cascade_s,
+        # Focal contract: the packet-simulated focal cluster's RTT
+        # distribution vs. the all-DES run's (same observe cluster).
+        "focal_rtt_ks": ks_distance(
+            full.result.rtt_samples, cascade_result.result.rtt_samples
+        ),
+        # Whole-fabric FCTs, fluid completions included (reported only).
+        "fct_ks": ks_distance(full.result.fcts, cascade_result.all_fcts),
+    }
+
+
+def test_cascade_scale(trained_bundle):
+    trained, _ = trained_bundle
+    rows = [_run_one_size(clusters, trained) for clusters in CLUSTERS]
+
+    payload = {
+        "benchmark": "cascade_scale",
+        "load": LOAD,
+        "seed": SEED,
+        "modes": ["des", "hybrid", "cascade"],
+        "gate": {
+            "clusters": GATE_CLUSTERS,
+            "min_speedup_vs_hybrid": MIN_CASCADE_SPEEDUP,
+            "focal_rtt_ks_budget": FOCAL_KS_BUDGET,
+        },
+        "rows": rows,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table_rows = []
+    for row in rows:
+        modes = row["modes"]
+        table_rows.append(
+            [
+                row["clusters"],
+                f"{row['duration_s'] * 1e3:g}",
+                f"{modes['des']['wallclock_s']:.2f}",
+                f"{modes['hybrid']['wallclock_s']:.2f}",
+                f"{modes['cascade']['wallclock_s']:.2f}",
+                f"{row['speedup_vs_hybrid']:.1f}x",
+                f"{row['speedup_vs_des']:.1f}x",
+                f"{row['focal_rtt_ks']:.3f}",
+                modes["cascade"]["promotions"],
+            ]
+        )
+    write_result(
+        "cascade_scale",
+        format_table(
+            [
+                "clusters", "sim ms", "des s", "hybrid s", "cascade s",
+                "vs hybrid", "vs des", "focal KS", "promos",
+            ],
+            table_rows,
+        )
+        + f"\n(load {LOAD}, seed {SEED}; hybrid baseline runs with remote"
+        " elision off — the cascade's own HYBRID-tier configuration)",
+    )
+
+    by_clusters = {row["clusters"]: row for row in rows}
+    if FULL_SIZE:
+        gate = by_clusters[GATE_CLUSTERS]
+        assert gate["speedup_vs_hybrid"] >= MIN_CASCADE_SPEEDUP, gate
+        assert gate["focal_rtt_ks"] <= FOCAL_KS_BUDGET, gate
+    # At every size the cascade must actually divert background
+    # traffic (otherwise it silently degenerated into all-hybrid and
+    # the comparison is meaningless).  Focal K-S outside the gate row
+    # is reported, not asserted: the short large-fabric cells have too
+    # few RTT samples for the statistic to be stable.
+    for row in rows:
+        assert row["modes"]["cascade"]["flows_diverted"] > 0, row["clusters"]

@@ -30,12 +30,16 @@ def wasserstein_distance(a: Iterable[float], b: Iterable[float]) -> float:
     b_sorted = np.sort(np.asarray(list(b), dtype=np.float64))
     if a_sorted.size == 0 or b_sorted.size == 0:
         raise ValueError("Wasserstein distance requires non-empty samples")
-    # Evaluate both quantile functions on a common probability grid.
-    n = max(a_sorted.size, b_sorted.size, 512)
-    qs = (np.arange(n) + 0.5) / n
-    qa = np.quantile(a_sorted, qs)
-    qb = np.quantile(b_sorted, qs)
-    return float(np.mean(np.abs(qa - qb)))
+    # Exact integral of |F_a - F_b| over the pooled support: both
+    # empirical CDFs are step functions, so the integral is a finite
+    # sum over the merged sample grid.  O(n log n), no quantile
+    # partitions — cheap enough for per-epoch online scoring of large
+    # sliding windows (the cascade controller's hot loop).
+    grid = np.sort(np.concatenate([a_sorted, b_sorted]))
+    deltas = np.diff(grid)
+    fa = np.searchsorted(a_sorted, grid[:-1], side="right") / a_sorted.size
+    fb = np.searchsorted(b_sorted, grid[:-1], side="right") / b_sorted.size
+    return float(np.sum(np.abs(fa - fb) * deltas))
 
 
 def roc_auc(scores: Iterable[float], labels: Iterable[int]) -> float:

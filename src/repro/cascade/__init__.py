@@ -1,0 +1,50 @@
+"""Multi-fidelity cascade with validated auto-promotion.
+
+One scenario, three engines: the focal cluster at full packet
+fidelity, warm regions on the batched learned hybrid, background
+regions as max-min fluid flows — with a
+:class:`~repro.cascade.controller.FidelityController` promoting and
+demoting regions between tiers at epoch boundaries based on windowed
+:mod:`repro.validate` scores against the focal region's in-run
+distributions.  Tier handoffs translate state behind the
+:class:`~repro.cascade.adapters.TierAdapter` interface and every
+decision lands in an auditable, byte-reproducible JSON log.
+
+This is ROADMAP open item 3: the route to capacity-planning sweeps
+over fabrics full DES cannot touch, spending packet-level cost only
+where the validation evidence says the cheap tiers are wrong.
+"""
+
+from repro.cascade.adapters import (
+    FlowsimToHybridAdapter,
+    Handoff,
+    HybridToFlowsimAdapter,
+    TierAdapter,
+    adapter_for,
+)
+from repro.cascade.config import CascadeConfig, Tier, TierBudget
+from repro.cascade.controller import Decision, DecisionLog, FidelityController
+from repro.cascade.simulation import (
+    CascadeResult,
+    CascadeSimulation,
+    FocalBoundaryTap,
+    run_cascade_simulation,
+)
+
+__all__ = [
+    "CascadeConfig",
+    "CascadeResult",
+    "CascadeSimulation",
+    "Decision",
+    "DecisionLog",
+    "FidelityController",
+    "FlowsimToHybridAdapter",
+    "FocalBoundaryTap",
+    "Handoff",
+    "HybridToFlowsimAdapter",
+    "Tier",
+    "TierAdapter",
+    "TierBudget",
+    "adapter_for",
+    "run_cascade_simulation",
+]

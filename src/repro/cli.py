@@ -238,6 +238,172 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pin_tiers(pins: Optional[Sequence[str]]):
+    """Parse repeated ``--pin-tier REGION=TIER`` arguments."""
+    from repro.cascade import Tier
+
+    parsed = {}
+    for pin in pins or ():
+        region_text, sep, tier_text = pin.partition("=")
+        if not sep:
+            raise ValueError(f"--pin-tier expects REGION=TIER, got {pin!r}")
+        try:
+            region = int(region_text)
+        except ValueError:
+            raise ValueError(
+                f"--pin-tier region must be an integer, got {region_text!r}"
+            ) from None
+        parsed[region] = Tier.parse(tier_text)
+    return parsed
+
+
+def _cmd_cascade(args: argparse.Namespace) -> int:
+    try:
+        trained = TrainedClusterModel.load(args.model)
+    except FileNotFoundError as error:
+        print(f"error: cannot load model bundle: {error}", file=sys.stderr)
+        return 2
+    from repro.cascade import (
+        CascadeConfig,
+        Tier,
+        TierBudget,
+        run_cascade_simulation,
+    )
+
+    config = _experiment_from_args(args)
+    try:
+        cascade_config = CascadeConfig(
+            focal_cluster=args.focal_cluster,
+            epoch_s=args.epoch_s,
+            window_epochs=args.window_epochs,
+            initial_tier=Tier.parse(args.initial_tier),
+            budget=TierBudget(
+                ks=args.budget,
+                wasserstein_s=args.wasserstein_budget,
+                drop_delta=args.drop_budget,
+            ),
+            pin_tiers=_parse_pin_tiers(args.pin_tier),
+            min_window_samples=args.min_window_samples,
+            demote_fraction=args.demote_fraction,
+            demote_patience=args.demote_patience,
+            cooldown_epochs=args.cooldown_epochs,
+            max_promotions_per_epoch=args.max_promotions,
+            batch_window_s=args.batch_window,
+            memoize_inference=args.memoize,
+            memo_exact=not args.memo_approximate,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    metrics = _metrics_from_args(args)
+    result, cascade_sim = run_cascade_simulation(
+        config, trained, cascade=cascade_config, metrics=metrics
+    )
+    _print_run(
+        result.result,
+        f"cascade simulation: {args.clusters} clusters, "
+        f"focal cluster {args.focal_cluster}",
+    )
+    summary = result.summary
+    print(
+        f"controller: {summary['epochs']} epochs, "
+        f"{summary['promotions']} promotion(s), "
+        f"{summary['demotions']} demotion(s), "
+        f"{summary['decisions']} decision-log record(s)"
+    )
+    rows = []
+    for region in sorted(summary["tier_residency"], key=int):
+        residency = summary["tier_residency"][region]
+        rows.append([
+            region,
+            summary["final_tiers"][region],
+            residency.get("flowsim", 0),
+            residency.get("hybrid", 0),
+            residency.get("des", 0),
+        ])
+    print(format_table(
+        ["region", "final tier", "flowsim epochs", "hybrid epochs", "des epochs"],
+        rows,
+    ))
+    print(format_table(
+        ["tier", "packets", "flows"],
+        [
+            [tier, f"{summary['per_tier_packets'][tier]:.0f}",
+             summary["per_tier_flows"][tier]]
+            for tier in ("flowsim", "hybrid", "des")
+        ],
+    ))
+    fluid = summary["fluid"]
+    print(
+        f"fluid tier: {fluid['flows_admitted']} admitted, "
+        f"{fluid['flows_completed']} completed, "
+        f"{fluid['active_at_end']} in flight at end, "
+        f"{fluid['rate_recomputes']} rate recomputes"
+    )
+    if result.fluid_fcts:
+        stats = percentile_summary(result.fluid_fcts, percentiles=(50, 95, 99))
+        print(
+            f"fluid FCT (ms): n={int(stats['count'])} "
+            f"p50={stats['p50'] * 1e3:.1f} "
+            f"p95={stats['p95'] * 1e3:.1f} "
+            f"p99={stats['p99'] * 1e3:.1f}"
+        )
+    if args.decision_log:
+        cascade_sim.decision_log.save(args.decision_log)
+        print(f"wrote decision log to {args.decision_log}")
+    _export_metrics(args, metrics)
+    return 0
+
+
+def _cmd_flowsim(args: argparse.Namespace) -> int:
+    from repro.flowsim import FlowLevelSimulator
+    from repro.flowsim.workload import generate_workload, load_workload
+    from repro.topology.clos import build_clos
+
+    config = _experiment_from_args(args)
+    topology = build_clos(config.clos)
+    if args.workload:
+        try:
+            flows = load_workload(args.workload)
+        except (OSError, ValueError, TypeError) as error:
+            print(f"error: cannot load workload: {error}", file=sys.stderr)
+            return 2
+    else:
+        flows = generate_workload(
+            topology,
+            duration_s=config.duration_s,
+            load=config.load,
+            sizes=config.sizes(),
+            seed=config.seed,
+        )
+    metrics = _metrics_from_args(args)
+    simulator = FlowLevelSimulator(topology, metrics=metrics)
+    try:
+        results = simulator.run(flows)
+    except ValueError as error:
+        print(f"error: invalid workload: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ["flows simulated", len(results)],
+        ["wall-clock (s)", simulator.wallclock_elapsed],
+        ["rate recomputes", simulator.rate_recomputations],
+        ["bytes transferred", sum(r.spec.size_bytes for r in results)],
+    ]
+    print(f"== flow-level simulation: {args.clusters} clusters @ {args.load:.0%} ==")
+    print(format_table(["metric", "value"], rows))
+    fcts = [r.fct for r in results]
+    if fcts:
+        stats = percentile_summary(fcts, percentiles=(50, 95, 99))
+        print(
+            f"FCT (ms): n={int(stats['count'])} "
+            f"p50={stats['p50'] * 1e3:.1f} "
+            f"p95={stats['p95'] * 1e3:.1f} "
+            f"p99={stats['p99'] * 1e3:.1f}"
+        )
+    _export_metrics(args, metrics)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -639,6 +805,85 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batching_arguments(hybrid)
     _add_metrics_argument(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
+
+    cascade = commands.add_parser(
+        "cascade",
+        help="multi-fidelity cascade with validated auto-promotion",
+    )
+    _add_experiment_arguments(cascade)
+    cascade.add_argument("--model", required=True, help="model bundle directory")
+    cascade.add_argument(
+        "--focal-cluster", type=int, default=0,
+        help="cluster kept at full packet fidelity (the in-run reference)",
+    )
+    cascade.add_argument(
+        "--budget", type=float, default=0.35, metavar="KS",
+        help="per-region K-S fidelity budget on windowed FCTs vs the focal region",
+    )
+    cascade.add_argument(
+        "--drop-budget", type=float, default=0.05, metavar="DELTA",
+        help="max tolerated absolute drop-rate difference vs the focal region",
+    )
+    cascade.add_argument(
+        "--wasserstein-budget", type=float, default=None, metavar="SECONDS",
+        help="optional absolute Wasserstein-1 budget on windowed FCTs",
+    )
+    cascade.add_argument(
+        "--epoch-s", type=float, default=0.002, metavar="SECONDS",
+        help="controller cadence in simulated seconds",
+    )
+    cascade.add_argument(
+        "--window-epochs", type=int, default=3,
+        help="sliding scoring horizon, in epochs",
+    )
+    cascade.add_argument(
+        "--min-window-samples", type=int, default=8,
+        help="FCT samples both windows need before scores drive decisions",
+    )
+    cascade.add_argument(
+        "--initial-tier", default="flowsim", metavar="TIER",
+        help="starting tier of unpinned regions (flowsim|hybrid)",
+    )
+    cascade.add_argument(
+        "--pin-tier", action="append", default=None, metavar="REGION=TIER",
+        help="pin one region to a tier the controller must not move "
+        "(repeatable, e.g. --pin-tier 2=hybrid)",
+    )
+    cascade.add_argument(
+        "--demote-fraction", type=float, default=0.5,
+        help="breach-ratio fraction under which an epoch counts as calm",
+    )
+    cascade.add_argument(
+        "--demote-patience", type=int, default=2,
+        help="consecutive calm epochs required before a demotion",
+    )
+    cascade.add_argument(
+        "--cooldown-epochs", type=int, default=1,
+        help="epochs a region sits out after any transition",
+    )
+    cascade.add_argument(
+        "--max-promotions", type=int, default=1, metavar="N",
+        help="promotion pacing per epoch (worst-breaching regions first)",
+    )
+    cascade.add_argument(
+        "--decision-log", default=None, metavar="PATH",
+        help="write the controller's auditable decision log (JSON) here",
+    )
+    _add_batching_arguments(cascade)
+    _add_metrics_argument(cascade)
+    cascade.set_defaults(handler=_cmd_cascade)
+
+    flowsim = commands.add_parser(
+        "flowsim", help="flow-level (max-min fluid) simulation baseline"
+    )
+    _add_experiment_arguments(flowsim)
+    flowsim.add_argument(
+        "workload", nargs="?", default=None,
+        help="pre-generated workload JSON (default: sample one from the "
+        "experiment arguments)",
+    )
+    _add_metrics_argument(flowsim)
+    flowsim.set_defaults(handler=_cmd_flowsim)
 
     validate = commands.add_parser(
         "validate",

@@ -12,7 +12,22 @@ It is used by ablation A3 to quantify the accuracy/speed trade the
 paper positions itself against.
 """
 
+from repro.flowsim.epoch import EpochFlowSimulator
 from repro.flowsim.maxmin import max_min_fair_rates
-from repro.flowsim.simulator import FlowLevelSimulator, FlowResult, FlowSpec
+from repro.flowsim.simulator import (
+    FlowLevelSimulator,
+    FlowResult,
+    FlowSpec,
+    validate_flow_spec,
+    validate_flow_specs,
+)
 
-__all__ = ["FlowLevelSimulator", "FlowResult", "FlowSpec", "max_min_fair_rates"]
+__all__ = [
+    "EpochFlowSimulator",
+    "FlowLevelSimulator",
+    "FlowResult",
+    "FlowSpec",
+    "max_min_fair_rates",
+    "validate_flow_spec",
+    "validate_flow_specs",
+]

@@ -9,6 +9,7 @@ allocation (Bertsekas & Gallager).
 
 from __future__ import annotations
 
+import heapq
 from typing import Hashable, Mapping, Sequence
 
 LinkId = Hashable
@@ -48,30 +49,47 @@ def max_min_fair_rates(
                 raise KeyError(f"flow {i} crosses unknown link {link!r}")
             link_flows.setdefault(link, set()).add(i)
 
-    while unfrozen:
-        # The bottleneck is the link with the smallest fair share.
-        bottleneck = None
-        bottleneck_share = float("inf")
-        for link, flows in link_flows.items():
-            active = len(flows)
-            if active == 0:
-                continue
-            share = remaining[link] / active
-            if share < bottleneck_share:
-                bottleneck_share = share
-                bottleneck = link
-        if bottleneck is None:
-            # No capacity constraint binds the remaining flows.
-            for i in unfrozen:
-                rates[i] = float("inf")
-            break
-        frozen_now = list(link_flows[bottleneck])
+    # Lazy min-heap over link fair shares: scanning every link per
+    # freeze round is O(links^2) and dominates the fluid engine on
+    # large fabrics.  Heap entries carry the share they were computed
+    # at; a popped entry whose share no longer matches the link's
+    # current value is stale (a fresh entry was pushed when the link
+    # last changed) and is simply discarded.  The entry counter breaks
+    # share ties by push order, keeping the bottleneck choice
+    # deterministic without comparing link ids.
+    counter = 0
+    heap: list[tuple[float, int, LinkId]] = []
+    for link, flows in link_flows.items():
+        heap.append((remaining[link] / len(flows), counter, link))
+        counter += 1
+    heapq.heapify(heap)
+
+    while unfrozen and heap:
+        bottleneck_share, _, bottleneck = heapq.heappop(heap)
+        flows = link_flows.get(bottleneck)
+        if not flows or remaining[bottleneck] / len(flows) != bottleneck_share:
+            continue  # stale entry
+        frozen_now = list(flows)
+        touched: set[LinkId] = set()
         for i in frozen_now:
             rates[i] = bottleneck_share
             unfrozen.discard(i)
             for link in flow_links[i]:
                 remaining[link] -= bottleneck_share
                 link_flows[link].discard(i)
+                touched.add(link)
         # Guard against tiny negative residue from float subtraction.
         remaining[bottleneck] = max(remaining[bottleneck], 0.0)
+        for link in touched:
+            flows = link_flows[link]
+            if flows:
+                heapq.heappush(
+                    heap, (remaining[link] / len(flows), counter, link)
+                )
+                counter += 1
+            else:
+                del link_flows[link]
+    # Any flows left unfrozen cross only links that never bind.
+    for i in unfrozen:
+        rates[i] = float("inf")
     return rates

@@ -13,14 +13,13 @@ would pick, so the two simulators are directly comparable per flow.
 
 from __future__ import annotations
 
-import heapq
+import math
 import time as _wallclock
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.topology.graph import Topology
-from repro.topology.routing import EcmpRouting, ecmp_hash, name_key
-from repro.flowsim.maxmin import max_min_fair_rates
+from repro.topology.graph import NodeRole, Topology
+from repro.topology.routing import EcmpRouting
 
 
 @dataclass(frozen=True)
@@ -47,6 +46,65 @@ class FlowResult:
         return self.completion_time - self.spec.start_time
 
 
+def validate_flow_spec(
+    spec: FlowSpec,
+    topology: Topology,
+    routing: Optional[EcmpRouting] = None,
+) -> None:
+    """Reject malformed flows before they reach the rate solver.
+
+    Checks size, start time, and routability (both endpoints must be
+    distinct servers of ``topology``; with ``routing`` given, a route
+    must actually exist).  Raises ``ValueError`` with the offending
+    field named — previously a zero-byte flow silently completed with
+    a zero-duration FCT and an unknown endpoint surfaced as a
+    ``KeyError`` deep inside the rate recomputation.
+    """
+    if spec.size_bytes <= 0:
+        raise ValueError(
+            f"flow {spec.flow_id}: size_bytes must be positive, got {spec.size_bytes}"
+        )
+    if not math.isfinite(spec.start_time) or spec.start_time < 0:
+        raise ValueError(
+            f"flow {spec.flow_id}: start_time must be finite and >= 0, "
+            f"got {spec.start_time}"
+        )
+    for label, endpoint in (("src", spec.src), ("dst", spec.dst)):
+        if endpoint not in topology:
+            raise ValueError(
+                f"flow {spec.flow_id}: {label} {endpoint!r} is not in the topology"
+            )
+        if topology.node(endpoint).role is not NodeRole.SERVER:
+            raise ValueError(
+                f"flow {spec.flow_id}: {label} {endpoint!r} is a "
+                f"{topology.node(endpoint).role.value}, not a server — unroutable"
+            )
+    if spec.src == spec.dst:
+        raise ValueError(
+            f"flow {spec.flow_id}: src == dst ({spec.src!r}); same-host "
+            "transfers have no network path"
+        )
+    if routing is not None:
+        try:
+            routing.distance(spec.src, spec.dst)
+        except KeyError as error:
+            raise ValueError(
+                f"flow {spec.flow_id}: no route {spec.src!r} -> {spec.dst!r}"
+            ) from error
+
+
+def validate_flow_specs(
+    flows: list[FlowSpec],
+    topology: Topology,
+    routing: Optional[EcmpRouting] = None,
+) -> None:
+    """Validate a whole workload: per-flow checks plus unique ids."""
+    if len({f.flow_id for f in flows}) != len(flows):
+        raise ValueError("duplicate flow ids in workload")
+    for spec in flows:
+        validate_flow_spec(spec, topology, routing)
+
+
 class _ActiveFlow:
     """Mutable progress state of an in-flight fluid flow."""
 
@@ -68,92 +126,47 @@ class FlowLevelSimulator:
         The network; per-direction link capacities come from it.
     routing:
         ECMP tables (computed if omitted).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; runs publish
+        ``flowsim.flows_completed`` and ``flowsim.rate_recomputes``.
     """
 
-    def __init__(self, topology: Topology, routing: Optional[EcmpRouting] = None) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        routing: Optional[EcmpRouting] = None,
+        metrics=None,
+    ) -> None:
         self.topology = topology
         self.routing = routing or EcmpRouting(topology)
-        self._capacities: dict[tuple[str, str], float] = {}
-        for link in topology.links:
-            self._capacities[(link.a, link.b)] = link.rate_bps
-            self._capacities[(link.b, link.a)] = link.rate_bps
+        self.metrics = metrics
         self.wallclock_elapsed = 0.0
         self.rate_recomputations = 0
-
-    def _flow_links(self, spec: FlowSpec) -> list[tuple[str, str]]:
-        """Directed links on the flow's ECMP path."""
-        flow_hash = ecmp_hash(
-            name_key(spec.src), name_key(spec.dst), 10_000 + spec.flow_id, 80
-        )
-        path = self.routing.path(spec.src, spec.dst, flow_hash)
-        return list(zip(path[:-1], path[1:]))
 
     def run(self, flows: list[FlowSpec]) -> list[FlowResult]:
         """Simulate all flows to completion; returns results by flow.
 
-        Raises ``ValueError`` on duplicate flow ids.
-        """
-        started = _wallclock.perf_counter()
-        if len({f.flow_id for f in flows}) != len(flows):
-            raise ValueError("duplicate flow ids in workload")
-        arrivals = sorted(flows, key=lambda f: (f.start_time, f.flow_id))
-        results: list[FlowResult] = []
-        active: dict[int, _ActiveFlow] = {}
-        now = 0.0
-        next_arrival = 0
+        The whole workload is validated up front (unique ids, positive
+        sizes, non-negative start times, routable server endpoints) —
+        ``ValueError`` names the offending flow and field.
 
-        while next_arrival < len(arrivals) or active:
-            self._recompute_rates(active)
-            completion_time, completing = self._earliest_completion(active, now)
-            arrival_time = (
-                arrivals[next_arrival].start_time if next_arrival < len(arrivals) else None
-            )
-            if arrival_time is not None and (
-                completion_time is None or arrival_time <= completion_time
-            ):
-                # Drain everyone up to the arrival, then admit the flow.
-                self._advance(active, arrival_time - now)
-                now = arrival_time
-                spec = arrivals[next_arrival]
-                next_arrival += 1
-                active[spec.flow_id] = _ActiveFlow(spec, self._flow_links(spec))
-            else:
-                assert completion_time is not None and completing is not None
-                self._advance(active, completion_time - now)
-                now = completion_time
-                flow = active.pop(completing)
-                results.append(FlowResult(spec=flow.spec, completion_time=now))
+        Implemented as a batch drive of the epoch-steppable engine
+        (:class:`~repro.flowsim.epoch.EpochFlowSimulator`), so batch
+        and online runs of the same workload are event-identical by
+        construction.
+        """
+        from repro.flowsim.epoch import EpochFlowSimulator
+
+        started = _wallclock.perf_counter()
+        validate_flow_specs(flows, self.topology, self.routing)
+        engine = EpochFlowSimulator(
+            self.topology, self.routing, metrics=self.metrics, validate=False
+        )
+        results: list[FlowResult] = []
+        engine.on_completion = results.append
+        for spec in sorted(flows, key=lambda f: (f.start_time, f.flow_id)):
+            engine.admit(spec)
+        engine.run_to_completion()
+        self.rate_recomputations += engine.rate_recomputations
         self.wallclock_elapsed += _wallclock.perf_counter() - started
         return sorted(results, key=lambda r: r.spec.flow_id)
-
-    # ------------------------------------------------------------------
-    def _recompute_rates(self, active: dict[int, _ActiveFlow]) -> None:
-        if not active:
-            return
-        self.rate_recomputations += 1
-        flows = list(active.values())
-        rates = max_min_fair_rates([f.links for f in flows], self._capacities)
-        for flow, rate in zip(flows, rates):
-            flow.rate = rate
-
-    @staticmethod
-    def _earliest_completion(
-        active: dict[int, _ActiveFlow], now: float
-    ) -> tuple[Optional[float], Optional[int]]:
-        best_time: Optional[float] = None
-        best_id: Optional[int] = None
-        for flow_id, flow in active.items():
-            if flow.rate <= 0:
-                continue
-            t = now + flow.remaining_bits / flow.rate
-            if best_time is None or t < best_time:
-                best_time = t
-                best_id = flow_id
-        return best_time, best_id
-
-    @staticmethod
-    def _advance(active: dict[int, _ActiveFlow], dt: float) -> None:
-        if dt <= 0:
-            return
-        for flow in active.values():
-            flow.remaining_bits = max(flow.remaining_bits - flow.rate * dt, 0.0)

@@ -15,6 +15,7 @@ pretty-prints either.
 from repro.obs.probes import (
     DEFAULT_TICKS,
     SimTimeProbes,
+    attach_cascade_probes,
     attach_hybrid_probes,
     attach_network_probes,
     default_period,
@@ -38,6 +39,7 @@ __all__ = [
     "Span",
     "SimTimeProbes",
     "DEFAULT_TICKS",
+    "attach_cascade_probes",
     "attach_hybrid_probes",
     "attach_network_probes",
     "default_period",

@@ -172,3 +172,44 @@ def attach_hybrid_probes(
             **labels,
         )
     return probes.start()
+
+
+def attach_cascade_probes(
+    registry: MetricsRegistry,
+    sim,
+    cascade_sim,
+    period_s: float,
+) -> Optional[SimTimeProbes]:
+    """The cascade observability set: hybrid probes + controller state.
+
+    On top of the hybrid set (queues, per-cluster model health),
+    samples every region's current tier (as its
+    :class:`~repro.cascade.config.Tier` value, so a promotion shows as
+    a 1 -> 2 step in the probe stream), the fluid tier's active-flow
+    count, and the reference window's sample depth — the inputs a
+    controller postmortem needs lined up against the decisions it
+    took.
+    """
+    if not registry.enabled:
+        return None
+    probes = attach_hybrid_probes(registry, sim, cascade_sim.hybrid, period_s)
+    if probes is None:
+        return None
+    # Deliberately NOT advancing the fluid clock here: step_to would
+    # change the float chunking of fluid progress (sub-ULP drift in
+    # remaining bytes), making the decision log depend on whether
+    # probes are attached.  Fluid samplers read state as of the last
+    # epoch boundary/admission instead — observation stays strictly
+    # non-perturbing, byte-for-byte.
+    for region in cascade_sim.regions:
+        probes.add(
+            "cascade_tier",
+            lambda r=region: float(cascade_sim.controller.tiers[r].value),
+            cluster=region,
+        )
+    probes.add("cascade_fluid_active_flows", lambda: float(cascade_sim.fluid.active_flows))
+    probes.add(
+        "cascade_reference_fct_samples",
+        lambda: float(len(cascade_sim.reference.fct)),
+    )
+    return probes

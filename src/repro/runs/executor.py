@@ -104,10 +104,19 @@ def _resolve_model(
 def _run_stage(
     request: RunRequest,
     registry_root: Optional[str],
+    run_dir: Path,
     metrics: Optional[MetricsRegistry] = None,
-) -> tuple[dict[str, Any], dict[str, float], Optional[dict[str, Any]]]:
-    """Execute the stage; returns (result, hot_path_counters, model_info)."""
+) -> tuple[
+    dict[str, Any], dict[str, float], Optional[dict[str, Any]], dict[str, str]
+]:
+    """Execute the stage.
+
+    Returns ``(result, hot_path_counters, model_info, artifacts)`` —
+    ``artifacts`` maps artifact names to files the stage wrote under
+    ``run_dir`` (the cascade stage's decision log, for instance).
+    """
     model_info: Optional[dict[str, Any]] = None
+    artifacts: dict[str, str] = {}
     if request.needs_model:
         lookup = _resolve_model(request, registry_root)
         model_info = {
@@ -121,6 +130,7 @@ def _run_stage(
                 {"training_summary": lookup.model.training_summary},
                 dict(_ZERO_COUNTERS),
                 model_info,
+                artifacts,
             )
         if request.stage == "hybrid":
             hybrid_config = HybridConfig(**request.hybrid)
@@ -129,7 +139,28 @@ def _run_stage(
                 metrics=metrics,
             )
             counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
-            return _summarize_result(result), counters, model_info
+            return _summarize_result(result), counters, model_info, artifacts
+        if request.stage == "cascade":
+            # Multi-fidelity cascade: the manifest carries the tier
+            # residency, promotion counts, and per-tier packet split,
+            # and the auditable decision log lands next to it.
+            from repro.cascade import CascadeConfig, run_cascade_simulation
+
+            cascade_config = CascadeConfig.from_dict(request.hybrid)
+            cascade_result, cascade_sim = run_cascade_simulation(
+                request.experiment, lookup.model, cascade=cascade_config,
+                metrics=metrics,
+            )
+            counters = cascade_sim.hybrid.hot_path_counters(
+                cascade_result.result.wallclock_seconds
+            )
+            result_dict = _summarize_result(cascade_result.result)
+            result_dict["cascade"] = cascade_sim.cascade_summary()
+            result_dict["fluid_fct"] = _sample_summary(cascade_result.fluid_fcts)
+            decisions_path = run_dir / "decisions.json"
+            cascade_sim.decision_log.save(decisions_path)
+            artifacts["decisions"] = str(decisions_path)
+            return result_dict, counters, model_info, artifacts
         if request.stage == "validate":
             # Differential fidelity: a matched full/hybrid pair scored
             # by repro.validate; the report rides in the manifest so
@@ -150,7 +181,7 @@ def _run_stage(
                 "hybrid": _summarize_result(diff.hybrid),
                 "fidelity": diff.report.to_dict(),
             }
-            return result_dict, counters, model_info
+            return result_dict, counters, model_info, artifacts
 
         # evaluate: score the bundle against a fresh ground-truth trace.
         from repro.core.evaluation import evaluate_on_records
@@ -183,11 +214,11 @@ def _run_stage(
                 for direction, ev in evaluations.items()
             },
         }
-        return result_dict, dict(_ZERO_COUNTERS), model_info
+        return result_dict, dict(_ZERO_COUNTERS), model_info, artifacts
 
     # simulate: full packet-level fidelity, no model involved.
     output = run_full_simulation(request.experiment, metrics=metrics)
-    return _summarize_result(output.result), dict(_ZERO_COUNTERS), None
+    return _summarize_result(output.result), dict(_ZERO_COUNTERS), None, artifacts
 
 
 def execute_run(
@@ -216,13 +247,14 @@ def execute_run(
     metrics = MetricsRegistry(enabled=True)
     try:
         _apply_injections(request, attempt)
-        result, counters, model_info = _run_stage(
-            request, registry_root, metrics=metrics
+        result, counters, model_info, stage_artifacts = _run_stage(
+            request, registry_root, run_dir, metrics=metrics
         )
         manifest.status = "completed"
         manifest.result = result
         manifest.hot_path_counters = counters
         manifest.model = model_info
+        manifest.artifacts.update(stage_artifacts)
         if model_info is not None:
             manifest.artifacts["model"] = model_info["path"]
     except Exception as error:  # noqa: BLE001 — failure capture is the contract

@@ -2,8 +2,8 @@
 
 A :class:`ScenarioSpec` is the JSON/TOML-loadable description of one
 sweep: a base :class:`~repro.core.pipeline.ExperimentConfig`, a
-pipeline stage (``simulate`` / ``train`` / ``hybrid`` / ``evaluate``
-/ ``validate``), and sweep axes.  :meth:`ScenarioSpec.expand` turns it into an ordered
+pipeline stage (``simulate`` / ``train`` / ``hybrid`` / ``cascade``
+/ ``evaluate`` / ``validate``), and sweep axes.  :meth:`ScenarioSpec.expand` turns it into an ordered
 list of :class:`RunRequest` objects — the unit the scheduler dispatches
 to worker processes and the manifest layer records.
 
@@ -36,10 +36,10 @@ from repro.core.pipeline import ExperimentConfig
 from repro.topology.clos import ClosParams
 
 #: Pipeline stages a spec can request.
-STAGES = ("simulate", "train", "hybrid", "evaluate", "validate")
+STAGES = ("simulate", "train", "hybrid", "cascade", "evaluate", "validate")
 
 #: Stages that need a trained cluster model (and hence a registry).
-MODEL_STAGES = ("train", "hybrid", "evaluate", "validate")
+MODEL_STAGES = ("train", "hybrid", "cascade", "evaluate", "validate")
 
 #: Sweep axes and where each one applies.
 EXPERIMENT_AXES = ("load", "seed", "duration_s", "matrix", "intra_cluster_fraction")
@@ -148,7 +148,8 @@ class ScenarioSpec:
         Micro-model architecture/training hyper-parameters.
     hybrid:
         Keyword overrides for :class:`~repro.core.hybrid.HybridConfig`
-        (``hybrid`` stage) or
+        (``hybrid`` stage),
+        :class:`~repro.cascade.CascadeConfig` (``cascade`` stage), or
         :class:`~repro.validate.ValidateConfig` (``validate`` stage).
     sweep:
         Axis name -> list of values; runs are the Cartesian product,

@@ -69,25 +69,37 @@ class EcmpRouting:
         # shortest paths from node to dst.
         self._nexthops: dict[str, dict[str, list[str]]] = {}
         self._distance: dict[str, dict[str, int]] = {}
+        # One adjacency snapshot for all destinations: neighbors() builds
+        # a fresh list per call, which dominates table construction on
+        # large fabrics (one BFS per destination touches every node).
+        adjacency = {node.name: topology.neighbors(node.name) for node in topology.nodes}
         for node in topology.nodes:
-            self._compute_for_destination(node.name)
+            self._compute_for_destination(node.name, adjacency)
 
-    def _compute_for_destination(self, dst: str) -> None:
-        topo = self.topology
+    def _compute_for_destination(
+        self, dst: str, adjacency: dict[str, list[str]]
+    ) -> None:
+        # Next hops fall out of the BFS itself: scanning edge
+        # (current, neighbor) with dist[neighbor] == dist[current] + 1
+        # proves ``current`` lies on a shortest path from ``neighbor``
+        # to ``dst``, and every edge is scanned from both sides — so no
+        # second all-nodes pass is needed.
         dist: dict[str, int] = {dst: 0}
+        nexthops: dict[str, list[str]] = {}
         queue: deque[str] = deque([dst])
         while queue:
             current = queue.popleft()
-            for neighbor in topo.neighbors(current):
-                if neighbor not in dist:
-                    dist[neighbor] = dist[current] + 1
+            next_d = dist[current] + 1
+            for neighbor in adjacency[current]:
+                d = dist.get(neighbor)
+                if d is None:
+                    dist[neighbor] = next_d
                     queue.append(neighbor)
-        nexthops: dict[str, list[str]] = {}
-        for name, d in dist.items():
-            if name == dst:
-                continue
-            hops = [nbr for nbr in topo.neighbors(name) if dist.get(nbr, float("inf")) == d - 1]
-            nexthops[name] = sorted(hops)
+                    nexthops[neighbor] = [current]
+                elif d == next_d:
+                    nexthops[neighbor].append(current)
+        for hops in nexthops.values():
+            hops.sort()
         self._nexthops[dst] = nexthops
         self._distance[dst] = dist
 

@@ -61,6 +61,14 @@ class TrafficGenerator(Entity):
     flow_filter:
         Optional predicate ``(src, dst) -> bool``; flows for which it
         returns False are skipped (but counted in ``flows_elided``).
+    flow_dispatch:
+        Optional hook ``(src, dst, size_bytes) -> bool`` consulted for
+        every flow the filter keeps.  Returning True claims the flow
+        for an external engine (the cascade's fluid tier); it is
+        counted in ``flows_diverted`` and no packet flow is opened.
+        Returning False leaves the flow on the packet path.  The hook
+        runs *after* all randomness is drawn, so diverting flows never
+        perturbs the seeded workload.
     max_flows:
         Stop generating after this many arrivals (None = unbounded).
     """
@@ -73,6 +81,7 @@ class TrafficGenerator(Entity):
         sizes: EmpiricalSizeDistribution,
         arrivals: PoissonArrivals,
         flow_filter: Optional[Callable[[str, str], bool]] = None,
+        flow_dispatch: Optional[Callable[[str, str, int], bool]] = None,
         max_flows: Optional[int] = None,
     ) -> None:
         super().__init__(sim, "traffic-generator")
@@ -81,13 +90,18 @@ class TrafficGenerator(Entity):
         self.sizes = sizes
         self.arrivals = arrivals
         self.flow_filter = flow_filter
+        self.flow_dispatch = flow_dispatch
         self.max_flows = max_flows
+        #: Optional tap called with the :class:`FlowRecord` of every
+        #: completed packet flow (the cascade's FCT windows).
+        self.on_flow_complete: Optional[Callable[[FlowRecord], None]] = None
 
         self.fct_monitor = Monitor("fct")
         self.flows: list[FlowRecord] = []
         self.flows_started = 0
         self.flows_completed = 0
         self.flows_elided = 0
+        self.flows_diverted = 0
         self._arrival_rng = sim.rng.stream("traffic.arrivals")
         self._pair_rng = sim.rng.stream("traffic.pairs")
         self._size_rng = sim.rng.stream("traffic.sizes")
@@ -114,14 +128,24 @@ class TrafficGenerator(Entity):
         size = int(self.sizes.sample(self._size_rng))
         if self.flow_filter is not None and not self.flow_filter(src, dst):
             self.flows_elided += 1
+        elif self.flow_dispatch is not None and self.flow_dispatch(
+            src, dst, max(size, 1)
+        ):
+            self.flows_diverted += 1
         else:
-            self._launch_flow(src, dst, max(size, 1))
+            self.launch_flow(src, dst, max(size, 1))
         # Scheduled after the counters update so max_flows is exact;
         # the gap comes from an independent named stream, so ordering
         # relative to the pair/size draws cannot perturb the workload.
         self._schedule_next_arrival()
 
-    def _launch_flow(self, src: str, dst: str, size_bytes: int) -> None:
+    def launch_flow(self, src: str, dst: str, size_bytes: int) -> FlowRecord:
+        """Open one packet flow now; returns its record.
+
+        Public so tier adapters can relaunch handed-off flows (with
+        their remaining bytes) through the exact same TCP path and
+        bookkeeping as generated flows.
+        """
         record = FlowRecord(src=src, dst=dst, size_bytes=size_bytes, start_time=self.now)
         self.flows.append(record)
         self.flows_started += 1
@@ -132,9 +156,12 @@ class TrafficGenerator(Entity):
             record.completion_time = self.now
             self.flows_completed += 1
             self.fct_monitor.record(fct)
+            if self.on_flow_complete is not None:
+                self.on_flow_complete(record)
 
         sender = src_host.open_flow(dst_host, size_bytes, on_complete=on_complete)
         sender.start()
+        return record
 
     # ------------------------------------------------------------------
     @property

@@ -31,6 +31,7 @@ from repro.validate.invariants import (
     InvariantChecker,
     InvariantViolation,
 )
+from repro.validate.windows import RegionWindows, SlidingWindow, score_region
 
 __all__ = [
     "INVARIANTS",
@@ -47,4 +48,7 @@ __all__ = [
     "rate_delta",
     "render_report",
     "run_differential_pair",
+    "RegionWindows",
+    "SlidingWindow",
+    "score_region",
 ]

@@ -1,0 +1,145 @@
+"""Windowed online fidelity scoring for the cascade controller.
+
+The offline harness (:mod:`repro.validate.harness`) scores a whole
+matched pair after the fact; the cascade needs the same statistics
+*during* a run, per region, over a sliding horizon of recent simulated
+time.  This module provides that: bounded time-stamped sample windows
+(FCT, region latency, delivered/dropped outcome streams) and
+:func:`score_region`, which reduces a region's windows against a
+reference region's windows to the familiar K-S / Wasserstein-1 /
+drop-rate / throughput scores via the exact same
+:func:`~repro.validate.fidelity.compare_samples` and
+:func:`~repro.validate.fidelity.rate_delta` primitives.
+
+Everything is keyed by simulated time and contains no RNG or wall
+clocks, so the controller decisions built on these scores are a pure
+function of the seeded run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.validate.fidelity import compare_samples, rate_delta
+
+
+class SlidingWindow:
+    """Time-stamped samples over a sliding horizon of simulated time.
+
+    ``add`` must be called with non-decreasing timestamps (the DES
+    guarantees this); ``evict_before`` discards samples older than the
+    cutoff in O(evicted).
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def add(self, time: float, value: float) -> None:
+        self._samples.append((time, value))
+
+    def evict_before(self, cutoff: float) -> None:
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def values(self) -> list[float]:
+        return [value for _, value in self._samples]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class RegionWindows:
+    """All per-region sample streams the controller scores.
+
+    Attributes
+    ----------
+    fct:
+        Completed-flow FCTs of flows touching the region (seconds).
+    latency:
+        Per-packet region traversal latencies (seconds) — model
+        predictions for approximated regions, measured boundary
+        residence for the full-fidelity reference region.
+    drops:
+        Packet drop events (value unused; the count is the signal).
+    """
+
+    __slots__ = ("fct", "latency", "drops")
+
+    def __init__(self) -> None:
+        self.fct = SlidingWindow()
+        self.latency = SlidingWindow()
+        self.drops = SlidingWindow()
+
+    def record_fct(self, time: float, fct: float) -> None:
+        self.fct.add(time, fct)
+
+    def record_outcome(
+        self, time: float, latency_s: Optional[float], dropped: bool
+    ) -> None:
+        """Tap-compatible with ``ApproximatedCluster.on_outcome``."""
+        if dropped:
+            self.drops.add(time, 1.0)
+        elif latency_s is not None:
+            self.latency.add(time, latency_s)
+
+    def evict_before(self, cutoff: float) -> None:
+        self.fct.evict_before(cutoff)
+        self.latency.evict_before(cutoff)
+        self.drops.evict_before(cutoff)
+
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> int:
+        return len(self.latency)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.drops)
+
+    def drop_rate(self) -> float:
+        total = self.delivered + self.dropped
+        if total == 0:
+            return 0.0
+        return self.dropped / total
+
+
+def score_region(
+    reference: RegionWindows,
+    region: RegionWindows,
+    horizon_s: float,
+    min_samples: int = 1,
+) -> dict[str, Any]:
+    """Score one region's windows against the reference region's.
+
+    Returns the windowed analogue of a
+    :class:`~repro.validate.fidelity.FidelityReport` slice::
+
+        {"fct": compare_samples(...), "latency": compare_samples(...),
+         "drop_rate": rate_delta(...), "throughput": rate_delta(...),
+         "scoreable": bool}
+
+    ``scoreable`` is True when both FCT windows hold at least
+    ``min_samples`` samples — the gate the controller uses before
+    acting on the distances (a starved window is not evidence of
+    fidelity, only of idleness).  Throughput is completed flows per
+    second of window horizon.
+    """
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+    fct = compare_samples(reference.fct.values(), region.fct.values())
+    latency = compare_samples(reference.latency.values(), region.latency.values())
+    return {
+        "fct": fct,
+        "latency": latency,
+        "drop_rate": rate_delta(reference.drop_rate(), region.drop_rate()),
+        "throughput": rate_delta(
+            len(reference.fct) / horizon_s, len(region.fct) / horizon_s
+        ),
+        "scoreable": (
+            len(reference.fct) >= min_samples and len(region.fct) >= min_samples
+        ),
+    }

@@ -1,0 +1,118 @@
+"""CascadeConfig / TierBudget / Tier: parsing and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import CascadeConfig, Tier, TierBudget
+
+
+class TestTier:
+    def test_ordering_cheapest_to_most_faithful(self):
+        assert Tier.FLOWSIM < Tier.HYBRID < Tier.DES
+
+    def test_parse_accepts_tier_int_and_name(self):
+        assert Tier.parse(Tier.HYBRID) is Tier.HYBRID
+        assert Tier.parse(2) is Tier.HYBRID
+        assert Tier.parse("hybrid") is Tier.HYBRID
+        assert Tier.parse(" DES ") is Tier.DES
+
+    def test_parse_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            Tier.parse("quantum")
+
+    def test_label(self):
+        assert Tier.FLOWSIM.label == "flowsim"
+
+
+class TestTierBudget:
+    def test_defaults_valid(self):
+        budget = TierBudget()
+        assert 0 < budget.ks <= 1
+
+    def test_ks_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="ks budget"):
+            TierBudget(ks=0.0)
+        with pytest.raises(ValueError, match="ks budget"):
+            TierBudget(ks=1.5)
+
+    def test_negative_drop_delta_rejected(self):
+        with pytest.raises(ValueError, match="drop_delta"):
+            TierBudget(drop_delta=-0.1)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown TierBudget fields"):
+            TierBudget.from_dict({"ks": 0.2, "typo": 1})
+
+    def test_round_trip(self):
+        budget = TierBudget(ks=0.2, wasserstein_s=1e-3)
+        assert TierBudget.from_dict(budget.to_dict()) == budget
+
+
+class TestCascadeConfig:
+    def test_defaults_valid(self):
+        config = CascadeConfig()
+        assert config.window_s == pytest.approx(
+            config.epoch_s * config.window_epochs
+        )
+
+    def test_initial_tier_des_rejected(self):
+        with pytest.raises(ValueError, match="initial_tier cannot be des"):
+            CascadeConfig(initial_tier=Tier.DES)
+
+    def test_pinning_non_focal_region_to_des_rejected(self):
+        with pytest.raises(ValueError, match="cannot pin region 2 to des"):
+            CascadeConfig(focal_cluster=0, pin_tiers={2: Tier.DES})
+
+    def test_pinning_focal_to_des_allowed(self):
+        config = CascadeConfig(focal_cluster=0, pin_tiers={0: Tier.DES})
+        assert config.tier_for(0) is Tier.DES
+
+    def test_tier_for_respects_pins_then_initial(self):
+        config = CascadeConfig(
+            initial_tier=Tier.FLOWSIM, pin_tiers={3: Tier.HYBRID}
+        )
+        assert config.tier_for(3) is Tier.HYBRID
+        assert config.tier_for(1) is Tier.FLOWSIM
+        assert config.is_pinned(3) and not config.is_pinned(1)
+
+    def test_budget_for_overrides(self):
+        special = TierBudget(ks=0.1)
+        config = CascadeConfig(region_budgets={2: special})
+        assert config.budget_for(2) is special
+        assert config.budget_for(1) is config.budget
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError, match="epoch_s"):
+            CascadeConfig(epoch_s=0.0)
+        with pytest.raises(ValueError, match="window_epochs"):
+            CascadeConfig(window_epochs=0)
+        with pytest.raises(ValueError, match="demote_fraction"):
+            CascadeConfig(demote_fraction=1.0)
+        with pytest.raises(ValueError, match="max_promotions_per_epoch"):
+            CascadeConfig(max_promotions_per_epoch=0)
+
+    def test_hybrid_config_keeps_remote_traffic(self):
+        config = CascadeConfig(focal_cluster=1, batch_window_s=1e-6)
+        hybrid = config.hybrid_config()
+        assert hybrid.full_cluster == 1
+        # Background flows are diverted to the fluid tier, never elided.
+        assert hybrid.elide_remote_traffic is False
+        assert hybrid.batch_window_s == 1e-6
+
+    def test_from_dict_normalizes_json_types(self):
+        config = CascadeConfig.from_dict({
+            "focal_cluster": 0,
+            "initial_tier": "hybrid",
+            "budget": {"ks": 0.2},
+            "region_budgets": {"2": {"ks": 0.1}},
+            "pin_tiers": {"3": "flowsim"},
+        })
+        assert config.initial_tier is Tier.HYBRID
+        assert config.budget.ks == 0.2
+        assert config.region_budgets[2].ks == 0.1
+        assert config.pin_tiers[3] is Tier.FLOWSIM
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CascadeConfig fields"):
+            CascadeConfig.from_dict({"cadence": 1})

@@ -102,6 +102,109 @@ class TestTrainAndHybrid:
         assert "drop_pred" in out
         assert "ingress" in out
 
+class TestFlowsim:
+    def test_generated_workload(self, capsys):
+        code = main([
+            "flowsim", "--clusters", "2", "--load", "0.2",
+            "--duration", "0.01", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flow-level simulation" in out
+        assert "rate recomputes" in out
+        assert "FCT (ms)" in out
+
+    def test_workload_file(self, tmp_path, capsys):
+        from repro.flowsim.workload import generate_workload, save_workload
+        from repro.topology.clos import ClosParams, build_clos
+        from repro.traffic.distributions import web_search_sizes
+
+        topology = build_clos(ClosParams(clusters=2))
+        flows = generate_workload(
+            topology, duration_s=0.005, load=0.2,
+            sizes=web_search_sizes(), seed=3,
+        )
+        path = tmp_path / "workload.json"
+        save_workload(flows, path)
+        code = main(["flowsim", str(path), "--clusters", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"flows simulated    {len(flows)}" in out
+
+    def test_bad_workload_file_exits_2(self, tmp_path, capsys):
+        code = main(["flowsim", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load workload" in capsys.readouterr().err
+
+    def test_metrics_export(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main([
+            "flowsim", "--duration", "0.005", "--load", "0.2",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        assert metrics_path.exists()
+        assert "flowsim.flows_completed" in metrics_path.read_text()
+
+
+class TestCascade:
+    @pytest.fixture()
+    def model_dir(self, tmp_path, trained_bundle):
+        path = tmp_path / "bundle"
+        trained_bundle.save(path)
+        return path
+
+    def test_cascade_run_reports_tiers(self, model_dir, tmp_path, capsys):
+        log_path = tmp_path / "decisions.json"
+        code = main([
+            "cascade", "--model", str(model_dir),
+            "--clusters", "3", "--duration", "0.003", "--seed", "9",
+            "--epoch-s", "0.001", "--budget", "0.2",
+            "--min-window-samples", "4",
+            "--decision-log", str(log_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cascade simulation" in out
+        assert "controller:" in out
+        assert "final tier" in out
+        assert "fluid tier:" in out
+        assert log_path.exists()
+
+    def test_pin_tier_parsing(self, model_dir, capsys):
+        code = main([
+            "cascade", "--model", str(model_dir),
+            "--clusters", "3", "--duration", "0.002", "--seed", "9",
+            "--pin-tier", "2=hybrid",
+        ])
+        assert code == 0
+
+    def test_bad_pin_tier_exits_2(self, model_dir, capsys):
+        code = main([
+            "cascade", "--model", str(model_dir),
+            "--duration", "0.001", "--pin-tier", "2:hybrid",
+        ])
+        assert code == 2
+        assert "REGION=TIER" in capsys.readouterr().err
+
+    def test_pin_to_des_rejected(self, model_dir, capsys):
+        code = main([
+            "cascade", "--model", str(model_dir), "--clusters", "3",
+            "--duration", "0.001", "--pin-tier", "2=des",
+        ])
+        assert code == 2
+        assert "cannot pin region 2 to des" in capsys.readouterr().err
+
+    def test_missing_model_exits_2(self, tmp_path, capsys):
+        code = main([
+            "cascade", "--model", str(tmp_path / "nope"),
+            "--duration", "0.001",
+        ])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestTrainGru:
     def test_gru_training_via_cli(self, tmp_path):
         model_dir = tmp_path / "gru_model"
         code = main([

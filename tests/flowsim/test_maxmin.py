@@ -104,3 +104,52 @@ class TestMaxMinProperties:
         flows = flows + [flows[0]]  # duplicate the first flow's path
         rates = max_min_fair_rates(flows, capacities)
         assert rates[0] == pytest.approx(rates[-1])
+
+    @given(_random_instance())
+    @settings(max_examples=100)
+    def test_max_min_characterization(self, instance):
+        """The classic max-min condition: every flow has a saturated
+        link on its path where it is among the largest flows — so its
+        rate can only rise by lowering a flow no bigger than itself."""
+        flows, capacities = instance
+        rates = max_min_fair_rates(flows, capacities)
+        usage = {link: 0.0 for link in capacities}
+        for links, rate in zip(flows, rates):
+            for link in links:
+                usage[link] += rate
+        for links, rate in zip(flows, rates):
+            owns_bottleneck = False
+            for link in links:
+                if usage[link] < capacities[link] * (1 - 1e-9):
+                    continue  # not saturated
+                peers = [
+                    other_rate
+                    for other_links, other_rate in zip(flows, rates)
+                    if link in other_links
+                ]
+                if rate >= max(peers) * (1 - 1e-9):
+                    owns_bottleneck = True
+                    break
+            assert owns_bottleneck, (
+                "flow lacks a saturated link where it is maximal — "
+                "allocation is not max-min fair"
+            )
+
+    @given(_random_instance())
+    @settings(max_examples=100)
+    def test_pareto_efficiency_no_slack_for_any_flow(self, instance):
+        """Total allocation is Pareto-efficient: increasing any single
+        flow's rate by any epsilon violates some link capacity."""
+        flows, capacities = instance
+        rates = max_min_fair_rates(flows, capacities)
+        usage = {link: 0.0 for link in capacities}
+        for links, rate in zip(flows, rates):
+            for link in links:
+                usage[link] += rate
+        epsilon = 1e-6
+        for links in flows:
+            slack = min(capacities[link] - usage[link] for link in links)
+            assert slack <= epsilon, (
+                f"flow has {slack} spare capacity on every link of its "
+                "path; the allocation wastes bandwidth"
+            )

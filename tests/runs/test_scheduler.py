@@ -74,6 +74,43 @@ class TestHybridSweep:
         assert store.get("sched-hyb-0001").model["cache_hit"] is True
 
 
+TINY_CASCADE = {
+    "name": "sched-cas",
+    "stage": "cascade",
+    "experiment": {"clusters": 3, "load": 0.25, "duration_s": 0.003, "seed": 9},
+    "hybrid": {
+        "epoch_s": 0.001, "window_epochs": 2, "min_window_samples": 4,
+        "budget": {"ks": 0.2},
+    },
+    "training": {"clusters": 2, "load": 0.25, "duration_s": 0.004, "seed": 7},
+    "micro": {
+        "hidden_size": 8, "num_layers": 1, "window": 8,
+        "train_batches": 5, "learning_rate": 3e-3,
+    },
+}
+
+
+class TestCascadeStage:
+    def test_manifest_carries_tier_accounting_and_decision_log(self, tmp_path):
+        (manifest,) = _submit(TINY_CASCADE, tmp_path, workers=0, retries=0)
+        assert manifest.status == "completed"
+        cascade = manifest.result["cascade"]
+        assert cascade["epochs"] >= 2
+        assert set(cascade["per_tier_packets"]) == {"flowsim", "hybrid", "des"}
+        assert cascade["per_tier_packets"]["des"] > 0
+        for residency in cascade["tier_residency"].values():
+            assert sum(residency.values()) == cascade["epochs"]
+        # The auditable decision log is a run-directory artifact.
+        import json
+
+        decisions_path = manifest.artifacts["decisions"]
+        assert decisions_path.endswith("decisions.json")
+        entries = json.loads(open(decisions_path).read())
+        assert len(entries) == cascade["decisions"]
+        # Hot-path counters come from the packet side as usual.
+        assert manifest.hot_path_counters["model_packets"] > 0
+
+
 class TestFailureHandling:
     def test_injected_failure_is_retried_then_succeeds(self, tmp_path):
         spec = copy.deepcopy(TINY_SIMULATE)

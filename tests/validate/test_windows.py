@@ -1,0 +1,100 @@
+"""Windowed online scoring: sliding windows and score_region."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate import RegionWindows, SlidingWindow, score_region
+
+
+class TestSlidingWindow:
+    def test_add_and_values(self):
+        window = SlidingWindow()
+        window.add(0.0, 1.0)
+        window.add(1.0, 2.0)
+        assert window.values() == [1.0, 2.0]
+        assert len(window) == 2
+
+    def test_evict_before_drops_old_samples(self):
+        window = SlidingWindow()
+        for t in range(5):
+            window.add(float(t), float(t))
+        window.evict_before(2.0)
+        assert window.values() == [2.0, 3.0, 4.0]
+
+    def test_evict_keeps_sample_at_cutoff(self):
+        window = SlidingWindow()
+        window.add(1.0, 10.0)
+        window.evict_before(1.0)
+        assert len(window) == 1
+
+
+class TestRegionWindows:
+    def test_record_fct(self):
+        windows = RegionWindows()
+        windows.record_fct(0.1, 2e-3)
+        assert windows.fct.values() == [2e-3]
+
+    def test_outcome_tap_splits_delivery_and_drop(self):
+        windows = RegionWindows()
+        windows.record_outcome(0.1, 5e-6, False)
+        windows.record_outcome(0.2, None, True)
+        windows.record_outcome(0.3, 6e-6, False)
+        assert windows.delivered == 2
+        assert windows.dropped == 1
+        assert windows.drop_rate() == pytest.approx(1 / 3)
+
+    def test_drop_rate_empty_is_zero(self):
+        assert RegionWindows().drop_rate() == 0.0
+
+    def test_evict_before_applies_to_all_streams(self):
+        windows = RegionWindows()
+        windows.record_fct(0.0, 1e-3)
+        windows.record_outcome(0.0, 1e-6, False)
+        windows.record_outcome(0.0, None, True)
+        windows.record_fct(1.0, 2e-3)
+        windows.evict_before(0.5)
+        assert len(windows.fct) == 1
+        assert windows.delivered == 0
+        assert windows.dropped == 0
+
+
+class TestScoreRegion:
+    def _filled(self, values, times=None):
+        windows = RegionWindows()
+        for i, v in enumerate(values):
+            windows.record_fct(times[i] if times else float(i), v)
+        return windows
+
+    def test_identical_windows_score_zero(self):
+        reference = self._filled([1e-3, 2e-3, 3e-3, 4e-3])
+        region = self._filled([1e-3, 2e-3, 3e-3, 4e-3])
+        scores = score_region(reference, region, horizon_s=1.0, min_samples=4)
+        assert scores["scoreable"]
+        assert scores["fct"]["ks"] == pytest.approx(0.0)
+        assert scores["fct"]["wasserstein"] == pytest.approx(0.0)
+        assert scores["drop_rate"]["delta"] == 0.0
+        assert scores["throughput"]["delta"] == 0.0
+
+    def test_disjoint_windows_score_one(self):
+        reference = self._filled([1e-3] * 8)
+        region = self._filled([5e-3] * 8)
+        scores = score_region(reference, region, horizon_s=1.0)
+        assert scores["fct"]["ks"] == pytest.approx(1.0)
+
+    def test_starved_window_not_scoreable(self):
+        reference = self._filled([1e-3] * 8)
+        region = self._filled([1e-3])
+        scores = score_region(reference, region, horizon_s=1.0, min_samples=4)
+        assert not scores["scoreable"]
+
+    def test_throughput_uses_horizon(self):
+        reference = self._filled([1e-3] * 10)
+        region = self._filled([1e-3] * 5)
+        scores = score_region(reference, region, horizon_s=2.0, min_samples=1)
+        assert scores["throughput"]["full"] == pytest.approx(5.0)
+        assert scores["throughput"]["hybrid"] == pytest.approx(2.5)
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            score_region(RegionWindows(), RegionWindows(), horizon_s=0.0)
