@@ -167,7 +167,13 @@ def test_cascade_scale(trained_bundle):
         },
         "rows": rows,
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Merge, don't clobber: other benchmarks (bench_pdes_hybrid) own
+    # their own top-level series in the same trajectory file.
+    merged: dict = {}
+    if JSON_PATH.exists():
+        merged = json.loads(JSON_PATH.read_text())
+    merged.update(payload)
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
     table_rows = []
     for row in rows:

@@ -238,6 +238,123 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pdes(args: argparse.Namespace) -> int:
+    config = _experiment_from_args(args)
+    if args.hybrid:
+        if args.model is None:
+            print("error: --hybrid requires --model", file=sys.stderr)
+            return 2
+        try:
+            trained = TrainedClusterModel.load(args.model)
+        except FileNotFoundError as error:
+            print(f"error: cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+        from repro.pdes.hybrid_shard import (
+            HybridShardConfig,
+            run_hybrid_sharded,
+        )
+
+        hybrid_config = HybridConfig(
+            full_cluster=args.full_cluster,
+            elide_remote_traffic=not args.keep_remote_traffic,
+            batch_window_s=args.batch_window,
+            memoize_inference=args.memoize,
+            memo_exact=not args.memo_approximate,
+        )
+        shard_config = HybridShardConfig(
+            workers=args.workers, window_s=args.window, metrics=args.worker_metrics
+        )
+        try:
+            result = run_hybrid_sharded(
+                config, trained, shard=shard_config, hybrid=hybrid_config
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rows = [
+            ["workers", result.workers],
+            ["window (us)", result.window_s * 1e6],
+            ["windows", result.windows],
+            ["cut links", result.cut_links],
+            ["exchanges", result.exchanges],
+            ["messages", result.messages],
+            ["stall wall-clock (s)", result.stall_seconds],
+            ["lookahead violations", result.lookahead_violations],
+            ["invariant violations", result.invariant_violations],
+            ["simulated (ms)", result.sim_seconds * 1e3],
+            ["wall-clock (s)", result.wallclock_seconds],
+            ["sim-seconds/second", result.sim_seconds_per_second],
+            ["events executed", result.events_executed],
+            ["flows completed", result.flows_completed],
+            ["drops", result.drops],
+            ["model packets", result.model_packets],
+            ["model drops", result.model_drops],
+        ]
+        print(
+            f"== sharded hybrid ({result.workers} workers): "
+            f"{args.clusters} clusters =="
+        )
+        print(format_table(["metric", "value"], rows))
+        for name, sample in (
+            ("RTT (us)", result.rtt_samples),
+            ("FCT (ms)", result.fcts),
+        ):
+            if not sample:
+                continue
+            scale = 1e6 if name.startswith("RTT") else 1e3
+            stats = percentile_summary(sample, percentiles=(50, 95, 99))
+            print(
+                f"{name}: n={int(stats['count'])} "
+                f"p50={stats['p50'] * scale:.1f} "
+                f"p95={stats['p95'] * scale:.1f} "
+                f"p99={stats['p99'] * scale:.1f}"
+            )
+        return 0
+
+    # Classic full-fidelity PDES (the Figure 1 reproduction).
+    from repro.flowsim.workload import generate_workload
+    from repro.pdes import PdesConfig, run_parallel_simulation
+    from repro.topology.clos import build_clos
+
+    topology = build_clos(config.clos)
+    flows = generate_workload(
+        topology,
+        duration_s=config.duration_s,
+        load=config.load,
+        sizes=config.sizes(),
+        seed=config.seed,
+    )
+    try:
+        result = run_parallel_simulation(
+            topology,
+            flows,
+            PdesConfig(
+                workers=args.workers,
+                duration_s=config.duration_s,
+                window_s=args.window,
+                seed=config.seed,
+            ),
+            net_config=config.net,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ["workers", result.workers],
+        ["cut links", result.cut_links],
+        ["cross-partition messages", result.cross_partition_messages],
+        ["simulated (ms)", result.sim_seconds * 1e3],
+        ["wall-clock (s)", result.wallclock_seconds],
+        ["sim-seconds/second", result.sim_seconds_per_second],
+        ["events executed", result.events_executed],
+        ["flows completed", result.flows_completed],
+        ["drops", result.drops],
+    ]
+    print(f"== parallel DES ({result.workers} workers): {args.clusters} clusters ==")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
 def _parse_pin_tiers(pins: Optional[Sequence[str]]):
     """Parse repeated ``--pin-tier REGION=TIER`` arguments."""
     from repro.cascade import Tier
@@ -805,6 +922,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batching_arguments(hybrid)
     _add_metrics_argument(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
+
+    pdes = commands.add_parser(
+        "pdes",
+        help="parallel DES across worker processes (add --hybrid to "
+        "shard the hybrid simulation)",
+    )
+    _add_experiment_arguments(pdes)
+    pdes.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    pdes.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="synchronization window (default: the maximum safe lookahead; "
+        "larger values are rejected)",
+    )
+    pdes.add_argument(
+        "--hybrid", action="store_true",
+        help="shard the hybrid simulation (full-fidelity region split "
+        "across workers, cluster models colocated with their attachment "
+        "points); requires --model",
+    )
+    pdes.add_argument(
+        "--model", default=None, help="model bundle directory (with --hybrid)"
+    )
+    pdes.add_argument("--full-cluster", type=int, default=0)
+    pdes.add_argument(
+        "--keep-remote-traffic", action="store_true",
+        help="simulate traffic between approximated clusters too",
+    )
+    pdes.add_argument(
+        "--worker-metrics", action="store_true",
+        help="collect a per-worker metrics snapshot (hybrid mode)",
+    )
+    _add_batching_arguments(pdes)
+    pdes.set_defaults(handler=_cmd_pdes)
 
     cascade = commands.add_parser(
         "cascade",

@@ -337,7 +337,14 @@ class ApproximatedCluster(Entity):
         if self._invariants is not None:
             self._invariants.check_latency(self.name, now, latency)
             self._invariants.check_delivery(self.name, target, now, deliver_at)
-        self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
+        remote = getattr(entity, "schedule_model_delivery", None)
+        if remote is None:
+            self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
+        else:
+            # PDES shard boundary: the owning worker is remote, and the
+            # message must be captured now (decision time), not when a
+            # local event fires — see repro.pdes.stub.RemoteEntityProxy.
+            remote(deliver_at, packet, boundary)
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, from_node: str) -> None:
@@ -403,7 +410,11 @@ class ApproximatedCluster(Entity):
         if self._invariants is not None:
             self._invariants.check_latency(self.name, now, latency)
             self._invariants.check_delivery(self.name, target, now, deliver_at)
-        self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
+        remote = getattr(entity, "schedule_model_delivery", None)
+        if remote is None:
+            self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
+        else:
+            remote(deliver_at, packet, boundary)
 
     # ------------------------------------------------------------------
     def _egress_node(self, packet: Packet, direction: Direction) -> str:

@@ -38,6 +38,72 @@ from repro.topology.graph import NodeRole, Topology
 from repro.topology.routing import EcmpRouting
 
 
+class ShardableHybrid:
+    """Ownership seam between :class:`HybridSimulation` and PDES shards.
+
+    A hybrid world is assembled against one of these: it answers *which
+    nodes this process owns* and *how to reach the rest*.  The default
+    instance owns everything, so the single-process hybrid is exactly a
+    one-worker shard — :mod:`repro.pdes.hybrid_shard` builds the same
+    :class:`HybridSimulation`, just with a partial ownership set, stub
+    receivers for remote ports, and decision-time proxies for remote
+    model egress.
+
+    Parameters
+    ----------
+    owned_nodes:
+        Node names this shard owns, or ``None`` to own the whole
+        topology.  Approximated clusters must be atomic: a cluster's
+        fabric names and hosts all owned or all remote (the model's
+        recurrent state cannot be split).
+    remote_receiver:
+        ``name -> receiver`` factory for ports whose peer is remote
+        (a :class:`~repro.pdes.stub.RemoteStub` in the PDES worker).
+    remote_entity:
+        ``name -> entity`` factory for model egress targets that are
+        remote (a :class:`~repro.pdes.stub.RemoteEntityProxy`).
+    """
+
+    def __init__(
+        self,
+        owned_nodes=None,
+        remote_receiver=None,
+        remote_entity=None,
+    ) -> None:
+        self.owned_nodes = (
+            frozenset(owned_nodes) if owned_nodes is not None else None
+        )
+        self._remote_receiver = remote_receiver
+        self._remote_entity = remote_entity
+
+    @property
+    def is_sharded(self) -> bool:
+        """True when this shard owns only part of the topology."""
+        return self.owned_nodes is not None
+
+    def owns(self, name: str) -> bool:
+        """Does this shard own ``name``?"""
+        return self.owned_nodes is None or name in self.owned_nodes
+
+    def remote_receiver(self, name: str):
+        """Receiver standing in for the remote node ``name``."""
+        if self._remote_receiver is None:
+            raise ValueError(
+                f"node {name!r} is not owned by this shard and no "
+                "remote_receiver factory was provided"
+            )
+        return self._remote_receiver(name)
+
+    def remote_entity(self, name: str):
+        """Egress target standing in for the remote node ``name``."""
+        if self._remote_entity is None:
+            raise ValueError(
+                f"model egress target {name!r} is not owned by this shard "
+                "and no remote_entity factory was provided"
+            )
+        return self._remote_entity(name)
+
+
 @dataclass(frozen=True)
 class HybridConfig:
     """Options of a hybrid assembly.
@@ -147,11 +213,16 @@ class HybridSimulation:
         config: Optional[HybridConfig] = None,
         metrics=None,
         invariants=None,
+        shard: Optional[ShardableHybrid] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.trained = trained
         self.config = config or HybridConfig()
+        #: Ownership seam (see :class:`ShardableHybrid`); the default
+        #: owns everything — the single-process path *is* the 1-worker
+        #: shard.
+        self.shard = shard or ShardableHybrid()
         #: Optional :class:`~repro.obs.MetricsRegistry`; handed to every
         #: approximated cluster (per-packet instrument handles resolve
         #: there, at construction) and installed on the kernel so the
@@ -175,6 +246,11 @@ class HybridSimulation:
         excluded: set[str] = set()
         per_cluster_models = isinstance(trained, Mapping)
         if self.config.single_black_box:
+            if self.shard.is_sharded:
+                raise ValueError(
+                    "single_black_box mode cannot be sharded: the one "
+                    "rest-of-network model has nowhere to split"
+                )
             if per_cluster_models:
                 raise ValueError(
                     "single_black_box mode takes one rest-of-network model, "
@@ -207,6 +283,26 @@ class HybridSimulation:
                         f"per-cluster model mapping is missing clusters {missing}"
                     )
             for cluster in self.approx_clusters:
+                fabric = [
+                    node.name
+                    for node in topology.cluster_nodes(cluster)
+                    if node.role in (NodeRole.TOR, NodeRole.CLUSTER)
+                ]
+                # Cluster atomicity: the shard owns all of a cluster's
+                # fabric names or none of them (the model's recurrent
+                # state lives in exactly one worker).
+                owned_fabric = [name for name in fabric if self.shard.owns(name)]
+                if owned_fabric and len(owned_fabric) != len(fabric):
+                    raise ValueError(
+                        f"shard splits approximated cluster {cluster}: owns "
+                        f"{sorted(owned_fabric)} but not the rest of {sorted(fabric)}"
+                    )
+                if not owned_fabric:
+                    # Remote cluster: its model lives in another worker;
+                    # any local port pointing at its fabric gets a
+                    # remote receiver (the worker's stub).
+                    excluded.update(fabric)
+                    continue
                 model = ApproximatedCluster(
                     sim=sim,
                     topology=topology,
@@ -222,10 +318,23 @@ class HybridSimulation:
                     invariants=invariants,
                 )
                 self.models[cluster] = model
-                for node in topology.cluster_nodes(cluster):
-                    if node.role in (NodeRole.TOR, NodeRole.CLUSTER):
-                        excluded.add(node.name)
-                        overrides[node.name] = model
+                for name in fabric:
+                    excluded.add(name)
+                    overrides[name] = model
+
+        if self.shard.is_sharded:
+            # Exclude every remote real node, then wire the ports of
+            # owned nodes that point across the shard boundary to the
+            # shard's remote receivers (stubs that re-add link delay).
+            for node in topology.nodes:
+                if not self.shard.owns(node.name):
+                    excluded.add(node.name)
+            for link in topology.links:
+                for owner, peer in ((link.a, link.b), (link.b, link.a)):
+                    if owner in excluded:
+                        continue
+                    if peer in excluded and peer not in overrides:
+                        overrides[peer] = self.shard.remote_receiver(peer)
 
         self.network = Network(
             sim,
@@ -315,11 +424,20 @@ class HybridSimulation:
 
     # ------------------------------------------------------------------
     def _resolve_entity(self, name: str) -> object:
-        """Late-bound entity lookup for model egress deliveries."""
+        """Late-bound entity lookup for model egress deliveries.
+
+        Local hosts and switches resolve directly; anything else is a
+        remote egress target and resolves through the shard seam (a
+        decision-time proxy in PDES workers; an error in the default
+        full-ownership shard, where every target must be local).
+        """
         host = self.network.hosts.get(name)
         if host is not None:
             return host
-        return self.network.switches[name]
+        switch = self.network.switches.get(name)
+        if switch is not None:
+            return switch
+        return self.shard.remote_entity(name)
 
     # ------------------------------------------------------------------
     def flow_filter(self, src: str, dst: str) -> bool:
@@ -402,6 +520,10 @@ class HybridSimulation:
         """RTTs observed by the full-fidelity cluster's hosts.
 
         The paper draws its accuracy comparison (Figure 4) from the
-        fully simulated region.
+        fully simulated region.  A PDES shard that owns none of the
+        full cluster's hosts has no monitor and reports no samples.
         """
-        return self.network.rtt_monitor(self.full_cluster).values.tolist()
+        monitor = self.network.rtt_monitors.get(self.full_cluster)
+        if monitor is None:
+            return []
+        return monitor.values.tolist()

@@ -160,6 +160,7 @@ def make_generator(
     network: Network,
     config: ExperimentConfig,
     flow_filter=None,
+    flow_dispatch=None,
 ) -> TrafficGenerator:
     """Build the load-calibrated traffic generator for an experiment.
 
@@ -182,6 +183,7 @@ def make_generator(
         sizes=sizes,
         arrivals=PoissonArrivals(rate),
         flow_filter=flow_filter,
+        flow_dispatch=flow_dispatch,
     )
 
 

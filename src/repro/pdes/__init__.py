@@ -27,18 +27,47 @@ The paper's 2- and 4-"machine" series map to 2 and 4 worker processes
 here; one container cannot be several machines, but the synchronization
 economics (messages + barriers vs. per-partition event work) are the
 same mechanism measured on one host.
+
+:mod:`repro.pdes.hybrid_shard` fuses this engine with the hybrid
+simulator: the full-fidelity region is partitioned across workers and
+every approximated cluster runs as a model shard colocated with the
+worker owning its attachment point.
 """
 
 from repro.pdes.engine import (
     PdesConfig,
     PdesResult,
+    resolve_window,
     run_parallel_simulation,
     run_single_threaded,
+)
+from repro.pdes.hybrid_shard import (
+    HybridShardConfig,
+    ModelRef,
+    PdesHybridResult,
+    ShardStats,
+    WorkerCrashError,
+    extract_flow_schedule,
+    model_egress_lookahead,
+    outcome_signature,
+    resolve_hybrid_window,
+    run_hybrid_sharded,
 )
 
 __all__ = [
     "PdesConfig",
     "PdesResult",
+    "resolve_window",
     "run_parallel_simulation",
     "run_single_threaded",
+    "HybridShardConfig",
+    "ModelRef",
+    "PdesHybridResult",
+    "ShardStats",
+    "WorkerCrashError",
+    "extract_flow_schedule",
+    "model_egress_lookahead",
+    "outcome_signature",
+    "resolve_hybrid_window",
+    "run_hybrid_sharded",
 ]

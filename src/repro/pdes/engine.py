@@ -84,8 +84,29 @@ class PdesResult:
         return self.sim_seconds / self.wallclock_seconds
 
 
-def _resolve_window(topology: Topology, partitions: list[set[str]], config: PdesConfig) -> float:
-    """Pick/validate the synchronization window (the lookahead)."""
+def resolve_window(
+    topology: Topology,
+    partitions: list[set[str]],
+    config: PdesConfig,
+    model_lookahead_s: Optional[float] = None,
+) -> float:
+    """Pick/validate the synchronization window (the lookahead).
+
+    The safe window is the minimum delay over all cut links.  A hybrid
+    sharding changes the effective cut twice over: approximated fabric
+    switches are owned by their model's worker (their links count with
+    the physical delay, which the remote stub re-adds), and model
+    *egress* into a remote worker has its own lookahead —
+    ``MIN_REGION_LATENCY_S`` shrunk by the inference batching window,
+    because a batched packet's drop/latency decision can happen up to
+    ``batch_window_s`` after its arrival.  Callers with such a cut pass
+    that bound as ``model_lookahead_s`` and it participates in both the
+    default window choice and the rejection check.
+
+    A ``window_s`` above the safe bound is **rejected**, never clamped:
+    silently shrinking it would change the run the user asked for, and
+    silently keeping it would let an exchange violate causality.
+    """
     owner: dict[str, int] = {}
     for index, nodes in enumerate(partitions):
         for name in nodes:
@@ -93,15 +114,34 @@ def _resolve_window(topology: Topology, partitions: list[set[str]], config: Pdes
     cut_delays = [
         link.delay_s for link in topology.links if owner[link.a] != owner[link.b]
     ]
-    max_safe = min(cut_delays) if cut_delays else config.duration_s
+    bounds: list[tuple[float, str]] = []
+    if cut_delays:
+        bounds.append((min(cut_delays), "minimum cut-link delay"))
+    if model_lookahead_s is not None:
+        if model_lookahead_s <= 0:
+            raise ValueError(
+                f"model egress lookahead is {model_lookahead_s}; the inference "
+                "batching window leaves no safe synchronization window "
+                "(shrink batch_window_s below MIN_REGION_LATENCY_S)"
+            )
+        bounds.append(
+            (model_lookahead_s, "hybrid model-egress lookahead")
+        )
+    if not bounds:
+        bounds.append((config.duration_s, "run duration (no cut links)"))
+    max_safe, limiter = min(bounds)
     if config.window_s is None:
         return max_safe
     if config.window_s > max_safe + 1e-18:
         raise ValueError(
-            f"window_s={config.window_s} exceeds minimum cut-link delay {max_safe}; "
+            f"window_s={config.window_s} exceeds {limiter} {max_safe}; "
             "conservative causality would be violated"
         )
     return config.window_s
+
+
+#: Backwards-compatible private alias (pre-hybrid name).
+_resolve_window = resolve_window
 
 
 def run_parallel_simulation(

@@ -1,0 +1,1053 @@
+"""Hybrid × PDES fusion: shard the full-fidelity region across workers.
+
+The hybrid simulator (one full cluster + N-1 cluster models) and the
+PDES engine (partitioned full-fidelity world) each attack a different
+axis of the paper's Figure 1.  This module fuses them: the
+full-fidelity cluster and the core layer are partitioned across worker
+processes (:func:`~repro.topology.partition.partition_hybrid`), while
+every approximated cluster runs as a *model shard* colocated with the
+worker that owns its attachment point — hosts, fabric names, and the
+:class:`~repro.core.cluster_model.ApproximatedCluster` standing in for
+the fabric all live on one worker, so the host↔model path never pays
+synchronization.
+
+Determinism contract (the test pack's foundation):
+
+* Every worker builds its :class:`~repro.core.hybrid.HybridSimulation`
+  with ``Simulator(seed=config.seed)`` — the *same* seed, not
+  ``seed + worker_index``.  Named RNG streams
+  (``sim.rng.stream(name)``) are derived per-name, so each cluster
+  model's drop stream draws the same values it would draw in the
+  single-process hybrid regardless of which worker hosts it.
+* The flow schedule is extracted once, up front, by running the real
+  :class:`~repro.traffic.apps.TrafficGenerator` with a
+  ``flow_dispatch`` hook that claims every flow after all randomness
+  is drawn (:func:`extract_flow_schedule`).  Ephemeral source ports
+  are replicated in schedule order per source host, exactly matching
+  :meth:`~repro.net.host.Host.open_flow` allocation.
+* Cross-worker packets keep their exact single-process timestamps: the
+  sending port's propagation delay is zeroed and the
+  :class:`~repro.pdes.stub.RemoteStub` re-adds the real link delay, so
+  ``deliver_at`` is the same float the local port would have produced.
+* Model egress into a remote worker is captured at **decision time**
+  through :class:`~repro.pdes.stub.RemoteEntityProxy`, and the window
+  is bounded by the model-egress lookahead
+  (:func:`model_egress_lookahead`): ``MIN_REGION_LATENCY_S`` minus the
+  inference batching window, because a batched packet's outcome can be
+  decided up to ``batch_window_s`` after its arrival.
+
+With those four properties, same-seed runs at any worker count produce
+byte-identical merged outcome statistics (FCTs, RTTs, drops) — and
+identical to the single-process hybrid under float64 inference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing as mp
+import tempfile
+import time as _wallclock
+import traceback as _traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as _connection_wait
+from typing import Optional, Union
+
+from repro.core.cluster_model import MIN_REGION_LATENCY_S
+from repro.core.hybrid import HybridConfig, HybridSimulation, ShardableHybrid
+from repro.core.pipeline import ExperimentConfig, make_generator
+from repro.core.training import TrainedClusterModel
+from repro.des.kernel import Simulator
+from repro.net.network import NetworkConfig
+from repro.net.tcp.receiver import TcpReceiver
+from repro.net.tcp.sender import TcpSender
+from repro.pdes.engine import PdesConfig, resolve_window
+from repro.pdes.stub import RemoteEntityProxy, RemoteMessage, RemoteStub
+from repro.pdes.worker import FLOW_DST_PORT, FLOW_PORT_BASE
+from repro.topology.clos import build_clos
+from repro.topology.graph import NodeRole, Topology
+from repro.topology.partition import (
+    cross_partition_links,
+    owner_map,
+    partition_hybrid,
+)
+from repro.validate.invariants import InvariantChecker
+
+
+# ----------------------------------------------------------------------
+# Configuration and payload types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelRef:
+    """A trained model by artifact path, not by pickled engine.
+
+    Worker payloads carry one of these; each worker loads the bundle
+    from disk (:meth:`TrainedClusterModel.load`) instead of inheriting
+    multi-megabyte weight arrays through the process-spawn payload.
+    ``fingerprint`` is provenance (the
+    :class:`~repro.runs.registry.ModelRegistry` key when the artifact
+    came from the registry); loading goes through ``path``.
+    """
+
+    path: str
+    fingerprint: Optional[str] = None
+
+    def load(self) -> TrainedClusterModel:
+        """Materialize the model in this process."""
+        return TrainedClusterModel.load(self.path)
+
+
+@dataclass(frozen=True)
+class HybridShardConfig:
+    """Options of a sharded hybrid run.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes.  ``1`` exercises the identical machinery
+        (process, pipes, windowed loop) with no exchanges.
+    window_s:
+        Synchronization window; ``None`` selects the maximum safe
+        lookahead (min cut-link delay, further bounded by the
+        model-egress lookahead).  Larger values are **rejected**.
+    worker_timeout_s:
+        Wall-clock budget for any single parent-side wait (setup or
+        run); a worker silent past this raises
+        :class:`WorkerCrashError` instead of hanging.
+    metrics:
+        Build a per-worker :class:`~repro.obs.MetricsRegistry` and
+        include its snapshot in each worker's stats.  Metrics never
+        schedule events, so outcomes are identical on and off.
+    inject_crash:
+        Test hook: worker index that raises mid-window (``None`` off).
+    """
+
+    workers: int = 2
+    window_s: Optional[float] = None
+    worker_timeout_s: float = 300.0
+    metrics: bool = False
+    inject_crash: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.worker_timeout_s <= 0:
+            raise ValueError(
+                f"worker_timeout_s must be positive, got {self.worker_timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledFlow:
+    """One pre-extracted flow with its replicated ephemeral port."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: int
+    start_time: float
+    src_port: int
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died (or reported a structured error) mid-run.
+
+    Carries the failing worker's index and the original exception's
+    type/message/traceback so manifests can record *what* failed
+    instead of a bare hang or timeout.
+    """
+
+    def __init__(
+        self,
+        worker_index: int,
+        error_type: str,
+        message: str,
+        traceback_str: str = "",
+    ) -> None:
+        super().__init__(
+            f"PDES worker {worker_index} failed: {error_type}: {message}"
+        )
+        self.worker_index = worker_index
+        self.error_type = error_type
+        self.message = message
+        self.traceback_str = traceback_str
+
+
+# ----------------------------------------------------------------------
+# Flow-schedule extraction
+# ----------------------------------------------------------------------
+class _TopologyShim:
+    """Just enough network for :func:`make_generator` to calibrate load."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def host(self, name: str):  # pragma: no cover - dispatch claims all flows
+        raise RuntimeError(
+            "schedule extraction must not open flows; flow_dispatch should "
+            "have claimed every arrival"
+        )
+
+
+def extract_flow_schedule(
+    topology: Topology,
+    config: ExperimentConfig,
+    hybrid: HybridConfig,
+) -> list[ScheduledFlow]:
+    """Pre-draw the exact flow schedule of a hybrid experiment.
+
+    Runs the real :class:`~repro.traffic.apps.TrafficGenerator` — same
+    seed, same named RNG streams, same elision filter — against a
+    topology shim, with a ``flow_dispatch`` hook that claims every
+    surviving flow *after* all randomness is drawn.  The recorded
+    (src, dst, size, start) tuples are therefore bit-identical to what
+    the single-process hybrid would launch.  Ephemeral source ports
+    are then replicated per source host in schedule order, matching
+    :meth:`~repro.net.host.Host.open_flow`'s ``itertools.count(10_000)``
+    allocation, so TCP demux keys agree across worker boundaries.
+    """
+    sim = Simulator(seed=config.seed)
+    cluster_of = {node.name: node.cluster for node in topology.servers()}
+    full = hybrid.full_cluster
+
+    def flow_filter(src: str, dst: str) -> bool:
+        if not hybrid.elide_remote_traffic:
+            return True
+        return cluster_of[src] == full or cluster_of[dst] == full
+
+    records: list[tuple[str, str, int, float]] = []
+
+    def dispatch(src: str, dst: str, size_bytes: int) -> bool:
+        records.append((src, dst, size_bytes, sim.now))
+        return True
+
+    generator = make_generator(
+        sim,
+        _TopologyShim(topology),
+        config,
+        flow_filter=flow_filter,
+        flow_dispatch=dispatch,
+    )
+    generator.start()
+    sim.run(until=config.duration_s)
+
+    port_counters: dict[str, "itertools.count"] = {}
+    flows: list[ScheduledFlow] = []
+    for flow_id, (src, dst, size_bytes, start_time) in enumerate(records):
+        counter = port_counters.setdefault(src, itertools.count(FLOW_PORT_BASE))
+        flows.append(
+            ScheduledFlow(
+                flow_id=flow_id,
+                src=src,
+                dst=dst,
+                size_bytes=size_bytes,
+                start_time=start_time,
+                src_port=next(counter),
+            )
+        )
+    return flows
+
+
+# ----------------------------------------------------------------------
+# Lookahead
+# ----------------------------------------------------------------------
+def model_egress_lookahead(hybrid: HybridConfig) -> float:
+    """Safe lookahead of model egress crossing a shard boundary.
+
+    A cluster model's delivery timestamp is ``arrival + latency`` with
+    ``latency >= MIN_REGION_LATENCY_S``, but with inference batching
+    the drop/latency *decision* — the moment the packet can first be
+    captured for a remote worker — happens up to ``batch_window_s``
+    after the arrival (the batcher clamps its window to
+    ``MIN_REGION_LATENCY_S``).  The remaining guaranteed slack between
+    decision and delivery is the usable lookahead.  Non-positive means
+    batching ate the entire causality margin; :func:`resolve_window`
+    rejects that configuration outright.
+    """
+    batch_eff = 0.0
+    if hybrid.batch_window_s > 0:
+        batch_eff = min(hybrid.batch_window_s, MIN_REGION_LATENCY_S)
+    return MIN_REGION_LATENCY_S - batch_eff
+
+
+def resolve_hybrid_window(
+    topology: Topology,
+    partitions: list[set[str]],
+    config: PdesConfig,
+    hybrid: HybridConfig,
+) -> float:
+    """Window for a sharded hybrid: cut-link delay AND model lookahead.
+
+    The model-egress bound only binds when there is a shard boundary
+    for egress to cross (more than one worker and at least one
+    approximated cluster); a 1-worker shard is windowed like a plain
+    single-partition run.
+    """
+    lookahead: Optional[float] = None
+    if len(partitions) > 1 and len(topology.cluster_ids()) > 1:
+        lookahead = model_egress_lookahead(hybrid)
+    return resolve_window(topology, partitions, config, model_lookahead_s=lookahead)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Everything one worker reports back after a sharded hybrid run."""
+
+    worker_index: int
+    events_executed: int
+    windows: int
+    exchanges: int
+    messages_sent: int
+    messages_received: int
+    lookahead_violations: int
+    stall_seconds: float
+    flows_completed: int
+    fcts: list[float]
+    rtt_samples: list[float]
+    net_drops: int
+    model_packets: int
+    model_drops: int
+    inference_seconds: float
+    hot_path: dict
+    invariants: dict
+    cpu_seconds: float = 0.0
+    metrics_snapshot: Optional[dict] = None
+
+    def deterministic_view(self) -> dict:
+        """The wall-clock-free projection used by determinism tests.
+
+        Excludes ``stall_seconds``, ``inference_seconds``,
+        ``cpu_seconds``, the metrics snapshot, and hot-path wall-clock
+        ratios — everything else must be byte-identical across
+        same-seed same-worker-count runs.
+        """
+        deterministic_hot_path = {
+            key: value
+            for key, value in self.hot_path.items()
+            if "seconds" not in key and "share" not in key and "per_sec" not in key
+        }
+        return {
+            "worker_index": self.worker_index,
+            "events_executed": self.events_executed,
+            "windows": self.windows,
+            "exchanges": self.exchanges,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "lookahead_violations": self.lookahead_violations,
+            "flows_completed": self.flows_completed,
+            "fcts": list(self.fcts),
+            "rtt_samples": list(self.rtt_samples),
+            "net_drops": self.net_drops,
+            "model_packets": self.model_packets,
+            "model_drops": self.model_drops,
+            "hot_path": deterministic_hot_path,
+            "invariants": self.invariants,
+        }
+
+
+def outcome_signature(
+    fcts: list[float], rtt_samples: list[float], drops: int, flows_completed: int
+) -> str:
+    """Canonical byte-comparable form of a run's outcome statistics.
+
+    Sorting removes ordering differences that are pure artifacts of
+    how work is split across workers; JSON float serialization is
+    shortest-roundtrip (``repr``), so equal floats produce equal bytes.
+    """
+    payload = {
+        "flows_completed": int(flows_completed),
+        "drops": int(drops),
+        "fcts": sorted(fcts),
+        "rtts": sorted(rtt_samples),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+@dataclass
+class PdesHybridResult:
+    """Merged outcome of a sharded hybrid run."""
+
+    sim_seconds: float
+    wallclock_seconds: float
+    workers: int
+    window_s: float
+    cut_links: int
+    worker_stats: list[ShardStats] = field(default_factory=list)
+
+    # -- merged outcome statistics -------------------------------------
+    @property
+    def events_executed(self) -> int:
+        return sum(s.events_executed for s in self.worker_stats)
+
+    @property
+    def flows_completed(self) -> int:
+        return sum(s.flows_completed for s in self.worker_stats)
+
+    @property
+    def fcts(self) -> list[float]:
+        merged: list[float] = []
+        for stats in self.worker_stats:
+            merged.extend(stats.fcts)
+        return merged
+
+    @property
+    def rtt_samples(self) -> list[float]:
+        merged: list[float] = []
+        for stats in self.worker_stats:
+            merged.extend(stats.rtt_samples)
+        return merged
+
+    @property
+    def drops(self) -> int:
+        return sum(s.net_drops + s.model_drops for s in self.worker_stats)
+
+    @property
+    def model_packets(self) -> int:
+        return sum(s.model_packets for s in self.worker_stats)
+
+    @property
+    def model_drops(self) -> int:
+        return sum(s.model_drops for s in self.worker_stats)
+
+    @property
+    def exchanges(self) -> int:
+        return sum(s.exchanges for s in self.worker_stats)
+
+    @property
+    def messages(self) -> int:
+        return sum(s.messages_sent for s in self.worker_stats)
+
+    @property
+    def windows(self) -> int:
+        return max((s.windows for s in self.worker_stats), default=0)
+
+    @property
+    def lookahead_violations(self) -> int:
+        return sum(s.lookahead_violations for s in self.worker_stats)
+
+    @property
+    def invariant_violations(self) -> int:
+        return sum(int(s.invariants.get("total", 0)) for s in self.worker_stats)
+
+    @property
+    def stall_seconds(self) -> float:
+        return sum(s.stall_seconds for s in self.worker_stats)
+
+    @property
+    def max_worker_cpu_seconds(self) -> float:
+        """CPU seconds of the busiest worker (the parallel critical path).
+
+        Core-count independent: on a host with fewer cores than
+        workers, wall-clock cannot show the split, but the busiest
+        worker's CPU time bounds the wall-clock achievable with enough
+        cores."""
+        return max(s.cpu_seconds for s in self.worker_stats)
+
+    @property
+    def sim_seconds_per_second(self) -> float:
+        """Figure 1's y-axis."""
+        if self.wallclock_seconds <= 0:
+            return float("inf")
+        return self.sim_seconds / self.wallclock_seconds
+
+    # -- canonical views -----------------------------------------------
+    def outcome_signature(self) -> str:
+        """Byte-comparable merged outcome (FCT/RTT/drops/completions)."""
+        return outcome_signature(
+            self.fcts, self.rtt_samples, self.drops, self.flows_completed
+        )
+
+    def determinism_signature(self) -> str:
+        """Byte-comparable per-worker state (wall-clock excluded)."""
+        return json.dumps(
+            [s.deterministic_view() for s in self.worker_stats], sort_keys=True
+        )
+
+    def merged_hot_path_counters(
+        self, wallclock_s: Optional[float] = None
+    ) -> dict:
+        """Hot-path counters summed across workers (manifest schema).
+
+        Matches :meth:`HybridSimulation.hot_path_counters` key-for-key:
+        additive counters are summed, derived ratios recomputed from
+        the merged totals.
+        """
+        additive = (
+            "model_packets",
+            "model_drops",
+            "inference_seconds",
+            "batched_rounds",
+            "batched_packets",
+            "batch_flushes",
+            "scalar_fallbacks",
+            "memo_hits",
+            "memo_misses",
+        )
+        counters = {key: 0.0 for key in additive}
+        for stats in self.worker_stats:
+            for key in additive:
+                counters[key] += float(stats.hot_path.get(key, 0.0))
+        packets = counters["model_packets"]
+        inference = counters["inference_seconds"]
+        memo_total = counters["memo_hits"] + counters["memo_misses"]
+        counters["inference_seconds_per_packet"] = (
+            inference / packets if packets else 0.0
+        )
+        counters["memo_hit_rate"] = (
+            counters["memo_hits"] / memo_total if memo_total else 0.0
+        )
+        if wallclock_s is not None:
+            positive = wallclock_s > 0
+            counters["inference_share"] = inference / wallclock_s if positive else 0.0
+            counters["model_packets_per_sec"] = (
+                packets / wallclock_s if positive else 0.0
+            )
+        return counters
+
+    def merged_counters(self) -> dict:
+        """Manifest-facing summary of the parallel machinery."""
+        return {
+            "workers": self.workers,
+            "window_s": self.window_s,
+            "windows": self.windows,
+            "cut_links": self.cut_links,
+            "exchanges": self.exchanges,
+            "messages": self.messages,
+            "stall_seconds": self.stall_seconds,
+            "lookahead_violations": self.lookahead_violations,
+            "invariant_violations": self.invariant_violations,
+            "per_worker": [
+                {
+                    "worker_index": s.worker_index,
+                    "events_executed": s.events_executed,
+                    "windows": s.windows,
+                    "exchanges": s.exchanges,
+                    "messages_sent": s.messages_sent,
+                    "messages_received": s.messages_received,
+                    "stall_seconds": s.stall_seconds,
+                    "cpu_seconds": s.cpu_seconds,
+                    "lookahead_violations": s.lookahead_violations,
+                    "invariant_violations": int(s.invariants.get("total", 0)),
+                    "flows_completed": s.flows_completed,
+                    "model_packets": s.model_packets,
+                }
+                for s in self.worker_stats
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _cluster_fabric(topology: Topology, cluster: int) -> list[str]:
+    """Fabric switch names (ToR + aggregation) of one cluster."""
+    return [
+        node.name
+        for node in topology.cluster_nodes(cluster)
+        if node.role in (NodeRole.TOR, NodeRole.CLUSTER)
+    ]
+
+
+def _schedule_incoming(
+    sim: Simulator,
+    entities: dict[str, object],
+    incoming: dict[tuple[str, str], list[RemoteMessage]],
+    window_end: float,
+) -> tuple[int, int]:
+    """Schedule barrier-received messages; returns (count, violations).
+
+    A message timestamped at or before the barrier would have needed to
+    execute inside the window that just closed — a lookahead violation.
+    The conservative window bound makes this impossible by
+    construction; the counter exists so the property tests (and every
+    merged manifest) can assert it stayed zero.
+    """
+    count = 0
+    violations = 0
+    for messages in incoming.values():
+        for message in messages:
+            count += 1
+            if message.deliver_at <= window_end - 1e-18:
+                violations += 1
+            entity = entities[message.target_node]
+            sim.schedule_at(
+                max(message.deliver_at, window_end),
+                lambda e=entity, m=message: e.receive(m.packet, m.from_node),
+            )
+    return count, violations
+
+
+def _run_shard(
+    worker_index: int,
+    topology: Topology,
+    partitions: list[set[str]],
+    flows: list[ScheduledFlow],
+    model_ref: ModelRef,
+    net_config: NetworkConfig,
+    hybrid_config: HybridConfig,
+    duration_s: float,
+    window_s: float,
+    seed: int,
+    metrics_enabled: bool,
+    inject_crash: Optional[int],
+    parent_conn: Connection,
+    peer_conns: dict[int, Connection],
+) -> ShardStats:
+    partition = partitions[worker_index]
+    owner_of = owner_map(partitions)
+
+    # Same seed in every worker: named RNG streams are derived per
+    # stream name, so each cluster model draws the exact values it
+    # would draw in the single-process hybrid.
+    sim = Simulator(seed=seed)
+    metrics = None
+    if metrics_enabled:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=True)
+    invariants = InvariantChecker(metrics=metrics).attach_simulator(sim)
+
+    outbox: dict[int, dict[tuple[str, str], list[RemoteMessage]]] = {}
+
+    def remote_receiver(name: str) -> RemoteStub:
+        return RemoteStub(sim, name, owner_of[name], topology, outbox)
+
+    def remote_entity(name: str) -> RemoteEntityProxy:
+        return RemoteEntityProxy(name, owner_of[name], outbox)
+
+    shard_seam = ShardableHybrid(
+        owned_nodes=partition,
+        remote_receiver=remote_receiver,
+        remote_entity=remote_entity,
+    )
+    trained = model_ref.load()
+    hybrid_sim = HybridSimulation(
+        sim,
+        topology,
+        trained,
+        net_config=net_config,
+        config=hybrid_config,
+        metrics=metrics,
+        invariants=invariants,
+        shard=shard_seam,
+    )
+    network = hybrid_sim.network
+
+    # Cut ports: zero the port-side propagation delay (the stub re-adds
+    # the real link delay).  Unlike the plain engine — which pads every
+    # exchange with one null entry per directed cut link to emulate
+    # OMNeT++'s null-message economics for Figure 1 — the shard exchange
+    # sends only real messages: the barrier itself advances the pair's
+    # clock, and the hybrid's tiny cut traffic is exactly the property
+    # that makes sharding worth it.
+    for (owner, peer), port in network.ports().items():
+        if owner_of[peer] != worker_index:
+            port.delay_s = 0.0
+
+    # Incoming-message routing table.  Fabric switch names of locally
+    # owned approximated clusters alias to the cluster model: a remote
+    # core's packet targeted at e.g. ``agg-c3-0`` must reach the model
+    # standing in for that switch.
+    entities: dict[str, object] = {}
+    entities.update(network.hosts)
+    entities.update(network.switches)
+    for cluster, model in hybrid_sim.models.items():
+        for name in _cluster_fabric(topology, cluster):
+            entities[name] = model
+
+    # Pre-registered TCP endpoints from the shared schedule.  Ports
+    # come from the schedule (replicated open_flow allocation), so the
+    # demux keys of a flow agree even when its endpoints live in
+    # different workers.
+    fcts: list[float] = []
+    flows_completed = 0
+
+    def make_on_complete():
+        def on_complete(fct: float) -> None:
+            nonlocal flows_completed
+            flows_completed += 1
+            fcts.append(fct)
+
+        return on_complete
+
+    for flow in flows:
+        if flow.dst in partition:
+            dst_host = network.host(flow.dst)
+            dst_host.register_receiver(
+                TcpReceiver(
+                    host=dst_host,
+                    peer=flow.src,
+                    src_port=FLOW_DST_PORT,
+                    dst_port=flow.src_port,
+                    config=net_config.tcp,
+                )
+            )
+        if flow.src in partition:
+            src_host = network.host(flow.src)
+            sender = TcpSender(
+                host=src_host,
+                dst=flow.dst,
+                src_port=flow.src_port,
+                dst_port=FLOW_DST_PORT,
+                total_bytes=flow.size_bytes,
+                config=net_config.tcp,
+                on_complete=make_on_complete(),
+                rtt_monitor=src_host.rtt_monitor,
+            )
+            src_host.register_sender(sender)
+            sim.schedule_at(flow.start_time, sender.start)
+
+    if inject_crash == worker_index:
+
+        def _boom() -> None:
+            raise RuntimeError(
+                f"injected crash in worker {worker_index} (test hook)"
+            )
+
+        sim.schedule_at(min(window_s, duration_s) / 2, _boom)
+
+    parent_conn.send(("ready", worker_index))
+    go = parent_conn.recv()
+    assert go == "go", f"unexpected parent message {go!r}"
+    cpu_started = _wallclock.process_time()
+
+    # ------------------------------------------------------------------
+    # Synchronous-window main loop.
+    # ------------------------------------------------------------------
+    peers = sorted(peer_conns)
+    windows = exchanges = messages_sent = messages_received = 0
+    lookahead_violations = 0
+    stall_seconds = 0.0
+    now = 0.0
+    while now < duration_s - 1e-15:
+        window_end = min(now + window_s, duration_s)
+        sim.run(until=window_end)
+        windows += 1
+        for peer in peers:
+            pending = outbox.get(peer, {})
+            # Everything queued for this peer goes out — including
+            # model-egress link pairs that have no physical port on
+            # this worker.  Quiet windows exchange an empty payload.
+            payload: dict[tuple[str, str], list[RemoteMessage]] = {
+                link: pending.pop(link) for link in list(pending)
+            }
+            conn = peer_conns[peer]
+            stall_started = _wallclock.perf_counter()
+            # Pairwise ordered exchange (lower index sends first) —
+            # deadlock-free without threads.
+            if worker_index < peer:
+                conn.send(payload)
+                incoming = conn.recv()
+            else:
+                incoming = conn.recv()
+                conn.send(payload)
+            stall_seconds += _wallclock.perf_counter() - stall_started
+            exchanges += 1
+            messages_sent += sum(len(msgs) for msgs in payload.values())
+            received, violated = _schedule_incoming(
+                sim, entities, incoming, window_end
+            )
+            messages_received += received
+            lookahead_violations += violated
+        now = window_end
+
+    # Match the single-process epilogue: drain the batching window
+    # after the final run, then check conservation.
+    hybrid_sim.flush_inference()
+    invariants.check_conservation(sim.now)
+    cpu_seconds = _wallclock.process_time() - cpu_started
+
+    if metrics is not None:
+        metrics.counter("pdes.windows", worker=worker_index).inc(windows)
+        metrics.counter("pdes.exchanges", worker=worker_index).inc(exchanges)
+        metrics.counter("pdes.messages_sent", worker=worker_index).inc(messages_sent)
+        metrics.counter("pdes.messages_received", worker=worker_index).inc(
+            messages_received
+        )
+        metrics.counter("pdes.lookahead_violations", worker=worker_index).inc(
+            lookahead_violations
+        )
+        metrics.gauge("pdes.stall_seconds", worker=worker_index).set(stall_seconds)
+
+    return ShardStats(
+        worker_index=worker_index,
+        events_executed=sim.events_executed,
+        windows=windows,
+        exchanges=exchanges,
+        messages_sent=messages_sent,
+        messages_received=messages_received,
+        lookahead_violations=lookahead_violations,
+        stall_seconds=stall_seconds,
+        flows_completed=flows_completed,
+        fcts=fcts,
+        rtt_samples=hybrid_sim.observed_rtt_samples(),
+        net_drops=network.total_drops,
+        model_packets=hybrid_sim.model_packets_handled(),
+        model_drops=hybrid_sim.model_drops(),
+        inference_seconds=hybrid_sim.inference_seconds(),
+        hot_path=hybrid_sim.hot_path_counters(),
+        invariants=invariants.summary(),
+        cpu_seconds=cpu_seconds,
+        metrics_snapshot=metrics.snapshot() if metrics is not None else None,
+    )
+
+
+def _shard_worker_main(
+    worker_index: int,
+    topology: Topology,
+    partitions: list[set[str]],
+    flows: list[ScheduledFlow],
+    model_ref: ModelRef,
+    net_config: NetworkConfig,
+    hybrid_config: HybridConfig,
+    duration_s: float,
+    window_s: float,
+    seed: int,
+    metrics_enabled: bool,
+    inject_crash: Optional[int],
+    parent_conn: Connection,
+    peer_conns: dict[int, Connection],
+) -> None:
+    """Entry point executed inside each worker process.
+
+    Every failure — setup or mid-window — is reported to the parent as
+    a structured ``("error", ...)`` message before the process exits,
+    so the parent can surface *what* broke instead of timing out.
+    """
+    try:
+        stats = _run_shard(
+            worker_index,
+            topology,
+            partitions,
+            flows,
+            model_ref,
+            net_config,
+            hybrid_config,
+            duration_s,
+            window_s,
+            seed,
+            metrics_enabled,
+            inject_crash,
+            parent_conn,
+            peer_conns,
+        )
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            parent_conn.send(
+                (
+                    "error",
+                    {
+                        "worker_index": worker_index,
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": _traceback.format_exc(),
+                    },
+                )
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+        return
+    parent_conn.send(("done", stats))
+    try:
+        parent_conn.recv()  # final release before exiting
+    except EOFError:  # pragma: no cover - parent already gone
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent orchestration
+# ----------------------------------------------------------------------
+def _collect(
+    parent_ends: list,
+    processes: list,
+    expected_tag: str,
+    timeout_s: float,
+) -> list:
+    """Receive one ``(expected_tag, payload)`` from every worker.
+
+    Crash-safe: multiplexes the parent pipes against the process
+    sentinels, so a worker that dies without reporting (SIGKILL, OOM)
+    or reports a structured error raises :class:`WorkerCrashError`
+    immediately instead of blocking forever in ``recv``.
+    """
+    deadline = _wallclock.monotonic() + timeout_s
+    payloads: dict[int, object] = {}
+    pending = set(range(len(parent_ends)))
+    while pending:
+        remaining = deadline - _wallclock.monotonic()
+        if remaining <= 0:
+            raise WorkerCrashError(
+                min(pending),
+                "Timeout",
+                f"workers {sorted(pending)} sent no {expected_tag!r} "
+                f"within {timeout_s}s",
+            )
+        waitables = [parent_ends[i] for i in pending]
+        waitables.extend(processes[i].sentinel for i in pending)
+        ready = _connection_wait(waitables, timeout=min(remaining, 1.0))
+        for index in sorted(pending):
+            conn = parent_ends[index]
+            if conn.poll():
+                tag, payload = conn.recv()
+                if tag == "error":
+                    raise WorkerCrashError(
+                        payload["worker_index"],
+                        payload["type"],
+                        payload["message"],
+                        payload.get("traceback", ""),
+                    )
+                if tag != expected_tag:
+                    raise WorkerCrashError(
+                        index,
+                        "ProtocolError",
+                        f"expected {expected_tag!r}, got {tag!r}",
+                    )
+                payloads[index] = payload
+                pending.discard(index)
+            elif not processes[index].is_alive():
+                raise WorkerCrashError(
+                    index,
+                    "WorkerDied",
+                    f"worker {index} exited with code "
+                    f"{processes[index].exitcode} without reporting",
+                )
+        del ready
+    return [payloads[i] for i in range(len(parent_ends))]
+
+
+def _ensure_model_ref(
+    model: Union[TrainedClusterModel, ModelRef], scratch_dir: Optional[str]
+) -> ModelRef:
+    """Turn an in-memory model into an on-disk reference if needed."""
+    if isinstance(model, ModelRef):
+        return model
+    directory = tempfile.mkdtemp(prefix="pdes-model-", dir=scratch_dir)
+    model.save(directory)
+    return ModelRef(path=str(directory))
+
+
+def run_hybrid_sharded(
+    config: ExperimentConfig,
+    model: Union[TrainedClusterModel, ModelRef],
+    shard: Optional[HybridShardConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
+    scratch_dir: Optional[str] = None,
+) -> PdesHybridResult:
+    """Run one hybrid experiment sharded across PDES workers.
+
+    Parameters
+    ----------
+    config:
+        The experiment (topology, load, duration, seed) — identical
+        meaning to :func:`~repro.core.pipeline.run_hybrid_simulation`.
+    model:
+        The reusable trained cluster model, either in memory (saved to
+        a scratch directory automatically) or as a :class:`ModelRef`
+        pointing at a stored artifact (e.g. a registry entry).
+    shard:
+        Worker count / window / crash-safety options.
+    hybrid:
+        Hybrid assembly options; ``single_black_box`` is rejected (one
+        rest-of-network model cannot be split) and per-cluster model
+        mappings are not supported through the process boundary.
+    scratch_dir:
+        Where to save an in-memory model (default: system temp).
+
+    Wall-clock is measured from the moment all workers are released to
+    the moment the last reports done — setup (process spawn, topology
+    build, model load) is excluded, matching the plain PDES engine and
+    the paper's Figure 1 methodology.
+    """
+    shard = shard or HybridShardConfig()
+    hybrid = hybrid or HybridConfig()
+    if hybrid.single_black_box:
+        raise ValueError(
+            "single_black_box mode cannot be sharded: the one "
+            "rest-of-network model has nowhere to split"
+        )
+    topology = build_clos(config.clos)
+    partitions = partition_hybrid(topology, hybrid.full_cluster, shard.workers)
+    pdes_config = PdesConfig(
+        workers=shard.workers,
+        duration_s=config.duration_s,
+        window_s=shard.window_s,
+        seed=config.seed,
+    )
+    window = resolve_hybrid_window(topology, partitions, pdes_config, hybrid)
+    flows = extract_flow_schedule(topology, config, hybrid)
+    model_ref = _ensure_model_ref(model, scratch_dir)
+
+    ctx = mp.get_context("fork")
+    parent_ends: list = []
+    worker_parent_ends: list = []
+    for _ in range(shard.workers):
+        parent_end, worker_end = ctx.Pipe(duplex=True)
+        parent_ends.append(parent_end)
+        worker_parent_ends.append(worker_end)
+    # Full mesh between workers.
+    peer_conns: list[dict[int, object]] = [dict() for _ in range(shard.workers)]
+    for i in range(shard.workers):
+        for j in range(i + 1, shard.workers):
+            end_i, end_j = ctx.Pipe(duplex=True)
+            peer_conns[i][j] = end_i
+            peer_conns[j][i] = end_j
+
+    processes = []
+    for index in range(shard.workers):
+        process = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                index,
+                topology,
+                partitions,
+                flows,
+                model_ref,
+                config.net,
+                hybrid,
+                config.duration_s,
+                window,
+                config.seed,
+                shard.metrics,
+                shard.inject_crash,
+                worker_parent_ends[index],
+                peer_conns[index],
+            ),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+
+    try:
+        _collect(parent_ends, processes, "ready", shard.worker_timeout_s)
+        started = _wallclock.perf_counter()
+        for conn in parent_ends:
+            conn.send("go")
+        stats = _collect(parent_ends, processes, "done", shard.worker_timeout_s)
+        elapsed = _wallclock.perf_counter() - started
+        for conn in parent_ends:
+            conn.send("exit")
+    except WorkerCrashError:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        raise
+    finally:
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    return PdesHybridResult(
+        sim_seconds=config.duration_s,
+        wallclock_seconds=elapsed,
+        workers=shard.workers,
+        window_s=window,
+        cut_links=cross_partition_links(topology, partitions),
+        worker_stats=stats,
+    )

@@ -74,3 +74,51 @@ class RemoteStub:
         )
         per_link = self.outbox.setdefault(self.owner_worker, {})
         per_link.setdefault((from_node, self.name), []).append(message)
+
+
+class RemoteEntityProxy:
+    """Model-egress target owned by another worker.
+
+    An :class:`~repro.core.cluster_model.ApproximatedCluster` schedules
+    its deliveries directly (no port in between), so a remote egress
+    node cannot be reached through a :class:`RemoteStub`.  Instead the
+    model's ``resolve_entity`` hands back this proxy, and the cluster
+    calls :meth:`schedule_model_delivery` at **decision time** — the
+    moment the drop/latency outcome is known — rather than scheduling a
+    local event that would only surface the packet when it fires.
+    Capturing at decision time is what keeps the conservative window
+    sound: the delivery timestamp is ``arrival + latency`` with
+    ``latency >= MIN_REGION_LATENCY_S``, and the shard window is sized
+    so that bound (minus any batching slack) still clears the next
+    barrier.
+    """
+
+    __slots__ = ("name", "owner_worker", "outbox")
+
+    def __init__(
+        self,
+        node_name: str,
+        owner_worker: int,
+        outbox: dict[int, dict[tuple[str, str], list[RemoteMessage]]],
+    ) -> None:
+        self.name = node_name
+        self.owner_worker = owner_worker
+        self.outbox = outbox
+
+    def schedule_model_delivery(
+        self, deliver_at: float, packet: Packet, boundary: str
+    ) -> None:
+        """Queue one model delivery for the owning worker.
+
+        ``boundary`` (the region switch the packet notionally exits
+        from) becomes the receiver's ``from_node`` argument, exactly as
+        the local ``_Delivery`` event would have passed it.
+        """
+        message = RemoteMessage(
+            target_node=self.name,
+            from_node=boundary,
+            deliver_at=deliver_at,
+            packet=packet,
+        )
+        per_link = self.outbox.setdefault(self.owner_worker, {})
+        per_link.setdefault((boundary, self.name), []).append(message)

@@ -140,6 +140,52 @@ def _run_stage(
             )
             counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
             return _summarize_result(result), counters, model_info, artifacts
+        if request.stage == "pdes-hybrid":
+            # Sharded hybrid: the model travels to workers as a
+            # registry reference (path + fingerprint), never pickled.
+            from repro.pdes.hybrid_shard import (
+                HybridShardConfig,
+                ModelRef,
+                run_hybrid_sharded,
+            )
+
+            options = dict(request.hybrid)
+            inject_crash = options.pop("inject_crash", None)
+            shard_config = HybridShardConfig(
+                workers=int(options.pop("workers", 2)),
+                window_s=options.pop("window_s", None),
+                worker_timeout_s=float(options.pop("worker_timeout_s", 300.0)),
+                inject_crash=None if inject_crash is None else int(inject_crash),
+            )
+            hybrid_config = HybridConfig(**options)
+            model_ref = ModelRef(
+                path=str(lookup.path), fingerprint=lookup.fingerprint
+            )
+            pdes_result = run_hybrid_sharded(
+                request.experiment,
+                model_ref,
+                shard=shard_config,
+                hybrid=hybrid_config,
+            )
+            wallclock = pdes_result.wallclock_seconds
+            counters = pdes_result.merged_hot_path_counters(wallclock)
+            result_dict = {
+                "sim_seconds": pdes_result.sim_seconds,
+                "wallclock_seconds": wallclock,
+                "sim_seconds_per_second": pdes_result.sim_seconds_per_second,
+                "events_executed": pdes_result.events_executed,
+                "events_per_second": (
+                    pdes_result.events_executed / wallclock if wallclock > 0 else 0.0
+                ),
+                "flows_completed": pdes_result.flows_completed,
+                "drops": pdes_result.drops,
+                "model_packets": pdes_result.model_packets,
+                "model_drops": pdes_result.model_drops,
+                "rtt": _sample_summary(pdes_result.rtt_samples),
+                "fct": _sample_summary(pdes_result.fcts),
+                "pdes": pdes_result.merged_counters(),
+            }
+            return result_dict, counters, model_info, artifacts
         if request.stage == "cascade":
             # Multi-fidelity cascade: the manifest carries the tier
             # residency, promotion counts, and per-tier packet split,

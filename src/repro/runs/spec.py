@@ -36,10 +36,18 @@ from repro.core.pipeline import ExperimentConfig
 from repro.topology.clos import ClosParams
 
 #: Pipeline stages a spec can request.
-STAGES = ("simulate", "train", "hybrid", "cascade", "evaluate", "validate")
+STAGES = (
+    "simulate",
+    "train",
+    "hybrid",
+    "pdes-hybrid",
+    "cascade",
+    "evaluate",
+    "validate",
+)
 
 #: Stages that need a trained cluster model (and hence a registry).
-MODEL_STAGES = ("train", "hybrid", "cascade", "evaluate", "validate")
+MODEL_STAGES = ("train", "hybrid", "pdes-hybrid", "cascade", "evaluate", "validate")
 
 #: Sweep axes and where each one applies.
 EXPERIMENT_AXES = ("load", "seed", "duration_s", "matrix", "intra_cluster_fraction")

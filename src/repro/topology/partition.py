@@ -68,6 +68,85 @@ def partition_for_workers(topology: Topology, workers: int) -> list[set[str]]:
     return partitions
 
 
+def partition_hybrid(
+    topology: Topology, full_cluster: int, workers: int
+) -> list[set[str]]:
+    """Partition a hybrid world (one full cluster + model clusters).
+
+    The hybrid×PDES fusion (``repro.pdes.hybrid_shard``) shards the
+    *full-fidelity* region — the full cluster's racks and switches plus
+    the core layer — across workers, while every approximated cluster
+    moves **atomically**: its hosts, and the fabric switch names its
+    :class:`~repro.core.cluster_model.ApproximatedCluster` stands in
+    for, land on one worker together.  Hosts of an approximated cluster
+    talk only to their own cluster's model on the way in, so keeping
+    them together makes the host↔model path free of synchronization;
+    the cut is then exactly the full-fidelity fabric links that cross
+    workers plus the model↔core attachment links — the minimal surface
+    a sharded hybrid can have without splitting a model's recurrent
+    state.
+
+    Strategy (deterministic, like :func:`partition_for_workers`):
+
+    * full-cluster racks (ToR + its servers) round-robin;
+    * full-cluster aggregation switches and core switches round-robin;
+    * approximated clusters (all their nodes) round-robin by cluster
+      index;
+    * stragglers round-robin.
+
+    Every node of the topology is assigned exactly once — including the
+    fabric switches of approximated clusters, so owner maps built from
+    the result are total (cut-link accounting and message routing need
+    an owner for the model's stand-in names).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cluster_ids = topology.cluster_ids()
+    if full_cluster not in cluster_ids:
+        raise ValueError(
+            f"full_cluster={full_cluster} not in topology clusters {cluster_ids}"
+        )
+    partitions: list[set[str]] = [set() for _ in range(workers)]
+    full_tors = [
+        node
+        for node in topology.nodes_with_role(NodeRole.TOR)
+        if node.cluster == full_cluster
+    ]
+    for i, tor in enumerate(full_tors):
+        target = partitions[i % workers]
+        target.add(tor.name)
+        for neighbor in topology.neighbors(tor.name):
+            if topology.node(neighbor).role is NodeRole.SERVER:
+                target.add(neighbor)
+    spread_switches = [
+        node
+        for node in topology.nodes
+        if node.role is NodeRole.CORE
+        or (node.role is NodeRole.CLUSTER and node.cluster == full_cluster)
+    ]
+    for i, switch in enumerate(spread_switches):
+        partitions[i % workers].add(switch.name)
+    approx_clusters = [c for c in cluster_ids if c != full_cluster]
+    for i, cluster in enumerate(approx_clusters):
+        target = partitions[i % workers]
+        for node in topology.cluster_nodes(cluster):
+            target.add(node.name)
+    assigned = set().union(*partitions) if partitions else set()
+    leftovers = [node.name for node in topology.nodes if node.name not in assigned]
+    for i, name in enumerate(leftovers):
+        partitions[i % workers].add(name)
+    return partitions
+
+
+def owner_map(partitions: list[set[str]]) -> dict[str, int]:
+    """node name -> worker index for a partition list."""
+    owner: dict[str, int] = {}
+    for index, nodes in enumerate(partitions):
+        for name in nodes:
+            owner[name] = index
+    return owner
+
+
 def cross_partition_links(topology: Topology, partitions: list[set[str]]) -> int:
     """Count links whose endpoints live in different partitions.
 
