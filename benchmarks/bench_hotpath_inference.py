@@ -9,6 +9,10 @@ engine of :mod:`repro.nn.infer` in both precisions.  A second section
 prices the observability layer on the same hot path: bare loop vs. the
 ``None``-handle branch pattern (metrics disabled; asserted < 2%
 overhead) vs. live histogram observation (metrics enabled; reported).
+A third prices the tracing layer two ways: the same synthetic rotation
+(flight recorder off gated < 0.5%) plus an end-to-end accounting
+estimate — cache-cold per-record cost times a real hybrid run's
+deterministic record count over its untraced CPU time — gated < 2%.
 
 Results land in two places:
 
@@ -67,6 +71,15 @@ EXACTNESS_BOUND = 1e-9
 #: Observability contract: with metrics absent/disabled, the per-packet
 #: hot path may cost at most this fraction more than the bare path.
 METRICS_DISABLED_OVERHEAD_BOUND = 0.02
+#: Tracing contract.  The disabled path is a single ``is not None``
+#: branch, so its bound is tighter than the metrics one.  The enabled
+#: bound applies to the *end-to-end accounting estimate* (cache-cold
+#: per-record cost x deterministic record count / untraced run CPU),
+#: not the synthetic pure-inference ratio: against a bare GEMM loop the
+#: recorder runs cache-cold every iteration, which overstates its share
+#: of a real simulation several-fold.
+TRACE_DISABLED_OVERHEAD_BOUND = 0.005
+TRACE_ENABLED_OVERHEAD_BOUND = 0.02
 #: Soft floors of the batched section (full-size runs only).  The
 #: checked-in JSON carries the real numbers; these only catch gross
 #: regressions without flaking on noisy runners.
@@ -388,6 +401,178 @@ def _bench_metrics_overhead() -> dict[str, float]:
     }
 
 
+def _bench_trace_overhead() -> dict[str, float]:
+    """Per-packet cost of the flight recorder on the hybrid hot path.
+
+    Two estimators, one synthetic and one end-to-end:
+
+    *Synthetic rotation* reproduces the traced ``ApproximatedCluster``
+    delivery exactly: ``engine.predict`` then one ``packet_span`` (flow
+    attribution + a tuple append into the bounded ring, at capacity, so
+    steady-state eviction is included).  Same paired-chunk median
+    estimator as the metrics section, with one refinement: the three
+    conditions *rotate* order across pairs, so drift inside one pair
+    (frequency scaling, a neighbour's burst) biases each condition
+    equally often and cancels in the median.  This gates the disabled
+    path (a single ``is not None`` branch, < 0.5%).  The enabled ratio
+    is reported but not gated: each GEMM evicts the recorder's cache
+    lines, so against a pure-inference denominator the ratio is a
+    cache-cold worst case, several-fold above tracing's share of a
+    real run.
+
+    *End-to-end accounting* prices the enabled path against the
+    denominator the contract names — a whole hybrid simulation.  Direct
+    traced/untraced wallclock (or CPU) pairs cannot resolve ~1% on a
+    shared runner (run-to-run spread is an order of magnitude larger),
+    so instead every recorder call in a real traced run is timed in
+    place: a subclass brackets ``packet_span``/``span``/``event`` with
+    ``perf_counter`` and the estimate is the median per-call cost times
+    the deterministic call count, over the minimum untraced CPU time
+    across trials.  The numerator is biased high (it pays an extra
+    method dispatch and the clock pair on every call) and the
+    denominator is a floor, so the estimate is conservative — and,
+    unlike the synthetic ratio, the recorder sees the cache state a
+    real simulation gives it.  This gates the enabled path (< 2%:
+    following a flow must stay cheap enough to leave tracing on during
+    real measurements).
+    """
+    import statistics
+
+    from repro.core.hybrid import HybridConfig
+    from repro.core.pipeline import (
+        ExperimentConfig,
+        run_hybrid_simulation,
+        train_reusable_model,
+    )
+    from repro.obs.trace import FlightRecorder
+    from repro.topology.clos import ClosParams
+
+    model, standardizer = _model_and_standardizer("lstm", "shared")
+    compiled = compile_inference(
+        model.lstm, model.drop_head, model.latency_head,
+        feature_mean=standardizer.mean, feature_std=standardizer.std,
+        dtype=np.float64,
+    )
+    engine = compiled.engine()
+    features = np.random.default_rng(9).normal(size=(4000, model.config.input_size))
+    count = len(features)
+
+    class _Packet:
+        __slots__ = ("src", "dst", "src_port", "dst_port")
+
+        def __init__(self):
+            self.src, self.dst = "h-bench", "h-peer"
+            self.src_port, self.dst_port = 40001, 80
+
+    packet = _Packet()
+    tracer = FlightRecorder(seed=7, capacity=4096)
+    tracer.register_flow(0, key=("h-bench", 40001))
+    # Pre-fill the ring so the timed appends all pay eviction.
+    for _ in range(tracer.capacity + 1):
+        tracer.event("warm", t=0.0)
+
+    def run(n: int, recorder) -> float:
+        # The traced delivery path: predict, then one guarded
+        # packet_span (cluster_model.py's exact pattern).
+        start = time.perf_counter()
+        for i in range(n):
+            t0 = time.perf_counter()
+            _, latency = engine.predict(features[i % count], macro_index=i % 4)
+            if recorder is not None:
+                recorder.packet_span(
+                    "model.decide", t0, t0 + latency, packet,
+                    "bench", "core-1", False,
+                )
+        return (time.perf_counter() - start) / n
+
+    run(WARMUP, None)
+    run(WARMUP, tracer)
+    chunk = 100
+    pairs = max(3, TRIALS * PACKETS // chunk)
+    rotations = (
+        ("bare", "disabled", "enabled"),
+        ("disabled", "enabled", "bare"),
+        ("enabled", "bare", "disabled"),
+    )
+    samples: dict[str, list[float]] = {"bare": [], "disabled": [], "enabled": []}
+    disabled_ratio, enabled_ratio, record_cost = [], [], []
+    for index in range(pairs):
+        timed: dict[str, float] = {}
+        for condition in rotations[index % 3]:
+            timed[condition] = run(chunk, tracer if condition == "enabled" else None)
+        for condition, value in timed.items():
+            samples[condition].append(value)
+        disabled_ratio.append(timed["disabled"] / timed["bare"])
+        enabled_ratio.append(timed["enabled"] / timed["bare"])
+        record_cost.append(timed["enabled"] - timed["bare"])
+    # Cache-cold per-record ceiling; a negative median just means the
+    # cost is below this run's noise floor, so clamp at free.
+    per_record_s = max(statistics.median(record_cost), 0.0)
+
+    # --- end-to-end accounting against a real hybrid run -------------
+    class _TimedRecorder(FlightRecorder):
+        """Times every record call in place (biases the cost *up* by
+        one extra dispatch plus the clock pair — conservative)."""
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.call_seconds: list[float] = []
+
+        def packet_span(self, *a):
+            start = time.perf_counter()
+            trace = super().packet_span(*a)
+            self.call_seconds.append(time.perf_counter() - start)
+            return trace
+
+        def span(self, *a, **kw):
+            start = time.perf_counter()
+            super().span(*a, **kw)
+            self.call_seconds.append(time.perf_counter() - start)
+
+        def event(self, *a, **kw):
+            start = time.perf_counter()
+            super().event(*a, **kw)
+            self.call_seconds.append(time.perf_counter() - start)
+
+    trained, _ = train_reusable_model(
+        ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=7
+        ),
+        MicroModelConfig(
+            hidden_size=16, num_layers=1, window=8, train_batches=10
+        ),
+    )
+    run_config = ExperimentConfig(
+        clos=ClosParams(clusters=2), load=0.5, duration_s=0.003, seed=11
+    )
+    hybrid = HybridConfig(elide_remote_traffic=False)
+    run_tracer = _TimedRecorder(seed=run_config.seed)
+    run_hybrid_simulation(run_config, trained, hybrid=hybrid, tracer=run_tracer)
+    # Median per-call cost x call count: robust to the occasional call
+    # that absorbs a scheduler preemption, faithful to the cache state
+    # the recorder actually runs in.
+    in_situ_record_s = statistics.median(run_tracer.call_seconds)
+    run_records = run_tracer.recorded
+    cpu_samples = []
+    for _ in range(3):
+        cpu0 = time.process_time()
+        run_hybrid_simulation(run_config, trained, hybrid=hybrid)
+        cpu_samples.append(time.process_time() - cpu0)
+    run_cpu_s = min(cpu_samples)
+    return {
+        "bare_us": min(samples["bare"]) * 1e6,
+        "disabled_us": min(samples["disabled"]) * 1e6,
+        "enabled_us": min(samples["enabled"]) * 1e6,
+        "disabled_overhead": statistics.median(disabled_ratio) - 1.0,
+        "enabled_overhead": statistics.median(enabled_ratio) - 1.0,
+        "per_record_cold_us": per_record_s * 1e6,
+        "per_record_in_situ_us": in_situ_record_s * 1e6,
+        "run_records": run_records,
+        "run_cpu_s": run_cpu_s,
+        "enabled_overhead_estimate": in_situ_record_s * run_records / run_cpu_s,
+    }
+
+
 def test_hotpath_inference_speedup():
     """Fused vs. reference single-packet latency across model variants."""
     variants = {
@@ -398,6 +583,7 @@ def test_hotpath_inference_speedup():
     results = {name: _bench_variant(*spec) for name, spec in variants.items()}
     batched = _bench_batched()
     overhead = _bench_metrics_overhead()
+    trace_overhead = _bench_trace_overhead()
 
     default = results["lstm"]
     payload = {
@@ -414,6 +600,7 @@ def test_hotpath_inference_speedup():
         "variants": results,
         "batched": batched,
         "metrics_overhead": overhead,
+        "trace_overhead": trace_overhead,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -467,6 +654,21 @@ def test_hotpath_inference_speedup():
                 f"{overhead['enabled_us']:.2f}",
                 f"{overhead['enabled_overhead']:+.2%}",
             ],
+            [
+                "tracing disabled",
+                f"{trace_overhead['disabled_us']:.2f}",
+                f"{trace_overhead['disabled_overhead']:+.2%}",
+            ],
+            [
+                "tracing enabled (cache-cold)",
+                f"{trace_overhead['enabled_us']:.2f}",
+                f"{trace_overhead['enabled_overhead']:+.2%}",
+            ],
+            [
+                "tracing end-to-end (est)",
+                f"{trace_overhead['per_record_in_situ_us']:.2f}/rec",
+                f"{trace_overhead['enabled_overhead_estimate']:+.2%}",
+            ],
         ],
     )
     write_result(
@@ -494,6 +696,17 @@ def test_hotpath_inference_speedup():
         assert (
             overhead["disabled_overhead"] < METRICS_DISABLED_OVERHEAD_BOUND
         ), overhead
+        # And the tracing contract: even *measuring* a flow is cheap.
+        # The enabled gate applies to the end-to-end accounting estimate
+        # (see _bench_trace_overhead); the synthetic enabled ratio is a
+        # cache-cold worst case and is reported, not gated.
+        assert (
+            trace_overhead["disabled_overhead"] < TRACE_DISABLED_OVERHEAD_BOUND
+        ), trace_overhead
+        assert (
+            trace_overhead["enabled_overhead_estimate"]
+            < TRACE_ENABLED_OVERHEAD_BOUND
+        ), trace_overhead
         for width in ("64", "512"):
             assert (
                 batched["raw"][width]["speedup_f32"] >= MIN_BATCHED_SPEEDUP_F32

@@ -303,6 +303,10 @@ class FidelityController:
         components: dict[str, float],
         reason: str,
     ) -> Decision:
+        # Name the flows whose FCT samples were in the region's scoring
+        # window when this decision fired — sorted and seeded-stream
+        # derived, so the log stays byte-identical across re-runs.
+        window = self.windows.get(region)
         entry = self.log.append(
             {
                 "epoch": epoch,
@@ -315,6 +319,7 @@ class FidelityController:
                 "components": components,
                 "reason": reason,
                 "handoff": None,
+                "window_flows": window.window_flows() if window is not None else [],
             }
         )
         return Decision(

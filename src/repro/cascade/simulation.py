@@ -127,10 +127,15 @@ class CascadeSimulation:
         config: Optional[CascadeConfig] = None,
         metrics=None,
         invariants=None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.config = config or CascadeConfig()
         self.metrics = metrics
+        #: Optional FlightRecorder — tier dispatches, epoch handoffs,
+        #: and fluid completions land in it alongside the hybrid
+        #: layer's own model/batch records.  Sim-time only, no RNG.
+        self._tracer = tracer
         self.hybrid = HybridSimulation(
             sim,
             topology,
@@ -139,6 +144,7 @@ class CascadeSimulation:
             config=self.config.hybrid_config(),
             metrics=metrics,
             invariants=invariants,
+            tracer=tracer,
         )
         self.topology = topology
         self.focal_cluster = self.config.focal_cluster
@@ -244,6 +250,17 @@ class CascadeSimulation:
                 start_time=self.sim.now,
             )
             self._next_fluid_flow_id += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    "tier.dispatch",
+                    trace=self._tracer.register_flow(
+                        spec.flow_id, domain="fluid"
+                    ),
+                    tier=Tier.FLOWSIM.label,
+                    src=src,
+                    dst=dst,
+                    size=size_bytes,
+                )
             self.fluid.admit(spec)
             self._tier_flows[Tier.FLOWSIM] += 1
             return True
@@ -263,10 +280,20 @@ class CascadeSimulation:
         self.fluid_fcts.append(fct)
         now = result.completion_time
         spec = result.spec
+        if self._tracer is not None:
+            self._tracer.event(
+                "flow.complete",
+                trace=self._tracer.trace_for_flow(spec.flow_id, domain="fluid"),
+                t=now,
+                fct=fct,
+                size=spec.size_bytes,
+            )
         src_cluster = self._cluster_of[spec.src]
         dst_cluster = self._cluster_of[spec.dst]
         for cluster in {src_cluster, dst_cluster}:
-            self.windows[cluster].record_fct(now, fct)
+            self.windows[cluster].record_fct(
+                now, fct, flow=f"fluid:{spec.flow_id}"
+            )
 
     def _on_packet_flow_complete(self, record: FlowRecord) -> None:
         src_cluster = self._cluster_of[record.src]
@@ -283,10 +310,11 @@ class CascadeSimulation:
         fct = record.fct
         assert fct is not None
         now = record.completion_time
+        flow_name = f"flow:{record.flow_id}"
         if self.focal_cluster in (src_cluster, dst_cluster):
-            self.reference.record_fct(now, fct)
+            self.reference.record_fct(now, fct, flow=flow_name)
         for cluster in {src_cluster, dst_cluster} - {self.focal_cluster}:
-            self.windows[cluster].record_fct(now, fct)
+            self.windows[cluster].record_fct(now, fct, flow=flow_name)
 
     # ------------------------------------------------------------------
     # Adapter context (see TierAdapter.transfer)
@@ -335,6 +363,16 @@ class CascadeSimulation:
             adapter = adapter_for(decision.from_tier, decision.to_tier)
             handoff = adapter.transfer(decision.region, self)
             decision.entry["handoff"] = handoff.to_dict()
+            if self._tracer is not None:
+                self._tracer.event(
+                    "tier.handoff",
+                    region=decision.region,
+                    kind=decision.kind,
+                    from_tier=decision.from_tier.label,
+                    to_tier=decision.to_tier.label,
+                    ratio=decision.ratio,
+                    epoch=decision.epoch,
+                )
         self.epoch_wallclock_s += _wallclock.perf_counter() - started
         self.sim.schedule(self.config.epoch_s, self._on_epoch)
 
@@ -474,18 +512,24 @@ def run_cascade_simulation(
     cascade: Optional[CascadeConfig] = None,
     metrics=None,
     probe_period_s: Optional[float] = None,
+    tracer=None,
 ) -> tuple[CascadeResult, CascadeSimulation]:
     """Run one scenario under per-region fidelity assignments.
 
     The same seeded workload the full and hybrid pipelines would
     generate; background flows are diverted (not elided) per the
     current tier map, so offered load is preserved across tiers.
+    With ``tracer``, packet flows get admission/completion records,
+    fluid flows ``tier.dispatch`` records, and every epoch transition
+    a ``tier.handoff`` record — RNG-free, outcomes unchanged.
     """
     from repro.core.pipeline import RunResult, make_generator
     from repro.topology.clos import build_clos
 
     topology = build_clos(config.clos)
     sim = Simulator(seed=config.seed)
+    if tracer is not None:
+        tracer.bind_clock(lambda: sim.now)
     cascade_sim = CascadeSimulation(
         sim,
         topology,
@@ -493,8 +537,11 @@ def run_cascade_simulation(
         net_config=config.net,
         config=cascade,
         metrics=metrics,
+        tracer=tracer,
     )
-    generator = make_generator(sim, cascade_sim.hybrid.network, config)
+    generator = make_generator(
+        sim, cascade_sim.hybrid.network, config, tracer=tracer
+    )
     cascade_sim.attach_generator(generator)
     if metrics is not None:
         from repro.obs import attach_cascade_probes, default_period

@@ -89,6 +89,57 @@ def _add_batching_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a deterministic flight-recorder trace (flow "
+        "admissions/completions, model decisions, batching rounds, tier "
+        "handoffs, cross-worker exchanges); sim-time only, draws no "
+        "randomness, seeded outcomes are byte-identical on and off",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the trace as JSONL to this file (implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=None, metavar="N",
+        help="flight-recorder ring size per process (default 4096; the "
+        "oldest records evict first when a run outgrows it)",
+    )
+
+
+def _trace_enabled(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    )
+
+
+def _tracer_from_args(args: argparse.Namespace, seed: int):
+    """A FlightRecorder iff --trace/--trace-out was given, else None."""
+    if not _trace_enabled(args):
+        return None
+    from repro.obs.trace import DEFAULT_TRACE_CAPACITY, FlightRecorder
+
+    capacity = getattr(args, "trace_capacity", None) or DEFAULT_TRACE_CAPACITY
+    return FlightRecorder(seed=seed, capacity=capacity)
+
+
+def _export_trace(
+    args: argparse.Namespace,
+    events: list,
+    recorded: int,
+    evicted: int,
+    meta: dict,
+) -> None:
+    """Print the trace summary line; write ``--trace-out`` if given."""
+    print(f"trace: {recorded} records ({evicted} evicted from the ring)")
+    if getattr(args, "trace_out", None):
+        from repro.obs.trace import write_trace_jsonl
+
+        rows = write_trace_jsonl(args.trace_out, events, meta=meta)
+        print(f"wrote {rows} trace records to {args.trace_out}")
+
+
 def _metrics_from_args(args: argparse.Namespace):
     """An enabled registry iff ``--metrics-out`` was given, else None."""
     if getattr(args, "metrics_out", None) is None:
@@ -229,12 +280,21 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
         memo_exact=not args.memo_approximate,
     )
     metrics = _metrics_from_args(args)
+    tracer = _tracer_from_args(args, config.seed)
     result, _ = run_hybrid_simulation(
-        config, trained, hybrid=hybrid_config, metrics=metrics
+        config, trained, hybrid=hybrid_config, metrics=metrics, tracer=tracer
     )
     mode = "single-black-box" if args.single_black_box else "per-cluster"
     _print_run(result, f"hybrid simulation ({mode}): {args.clusters} clusters")
     _export_metrics(args, metrics)
+    if tracer is not None:
+        _export_trace(
+            args,
+            tracer.records(),
+            tracer.recorded,
+            tracer.evicted,
+            meta={"stage": "hybrid", "seed": config.seed, "workers": 1},
+        )
     return 0
 
 
@@ -261,8 +321,17 @@ def _cmd_pdes(args: argparse.Namespace) -> int:
             memoize_inference=args.memoize,
             memo_exact=not args.memo_approximate,
         )
+        shard_kwargs = {}
+        if _trace_enabled(args):
+            from repro.obs.trace import DEFAULT_TRACE_CAPACITY
+
+            shard_kwargs = {
+                "trace": True,
+                "trace_capacity": args.trace_capacity or DEFAULT_TRACE_CAPACITY,
+            }
         shard_config = HybridShardConfig(
-            workers=args.workers, window_s=args.window, metrics=args.worker_metrics
+            workers=args.workers, window_s=args.window,
+            metrics=args.worker_metrics, **shard_kwargs,
         )
         try:
             result = run_hybrid_sharded(
@@ -308,6 +377,18 @@ def _cmd_pdes(args: argparse.Namespace) -> int:
                 f"p50={stats['p50'] * scale:.1f} "
                 f"p95={stats['p95'] * scale:.1f} "
                 f"p99={stats['p99'] * scale:.1f}"
+            )
+        if shard_config.trace:
+            _export_trace(
+                args,
+                result.merged_trace(),
+                result.trace_recorded,
+                result.trace_evicted,
+                meta={
+                    "stage": "pdes-hybrid",
+                    "seed": config.seed,
+                    "workers": result.workers,
+                },
             )
         return 0
 
@@ -413,8 +494,9 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     metrics = _metrics_from_args(args)
+    tracer = _tracer_from_args(args, config.seed)
     result, cascade_sim = run_cascade_simulation(
-        config, trained, cascade=cascade_config, metrics=metrics
+        config, trained, cascade=cascade_config, metrics=metrics, tracer=tracer
     )
     _print_run(
         result.result,
@@ -469,6 +551,14 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
         cascade_sim.decision_log.save(args.decision_log)
         print(f"wrote decision log to {args.decision_log}")
     _export_metrics(args, metrics)
+    if tracer is not None:
+        _export_trace(
+            args,
+            tracer.records(),
+            tracer.recorded,
+            tracer.evicted,
+            meta={"stage": "cascade", "seed": config.seed, "workers": 1},
+        )
     return 0
 
 
@@ -782,6 +872,128 @@ def _cmd_models_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_file(run: str):
+    """Resolve a run directory / manifest path / trace file to
+    ``(meta, records)``."""
+    from pathlib import Path
+
+    from repro.obs.trace import read_trace_jsonl
+
+    path = Path(run)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    elif path.name == "manifest.json":
+        path = path.with_name("trace.jsonl")
+    return read_trace_jsonl(path)
+
+
+def _format_trace_args(record: dict) -> str:
+    parts = []
+    for key, value in sorted(record.get("args", {}).items()):
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3e}")
+        else:
+            parts.append(f"{key}={value}")
+    return ",".join(parts) or "-"
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.obs.trace import flow_events, trace_id
+
+    try:
+        meta, records = _load_trace_file(args.run)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load trace: {error}", file=sys.stderr)
+        return 2
+    target = args.flow
+    if target.isdigit() and meta.get("seed") is not None:
+        target = trace_id(int(meta["seed"]), int(target), domain=args.domain)
+    try:
+        events = flow_events(records, target)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"no trace records for flow {args.flow!r}")
+        return 1
+    print(
+        f"== flow {args.flow} (trace {events[0]['trace']}): "
+        f"{len(events)} records =="
+    )
+    rows = []
+    for record in events:
+        duration = record["t1"] - record["t0"]
+        rows.append([
+            f"{record['t0'] * 1e3:.4f}",
+            "-" if record["worker"] is None else record["worker"],
+            record["kind"],
+            record["name"],
+            f"{duration * 1e6:.2f}" if duration > 0 else "-",
+            _format_trace_args(record),
+        ])
+    print(format_table(
+        ["t (ms)", "worker", "kind", "name", "dur (us)", "detail"], rows
+    ))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.trace import to_chrome_trace
+
+    try:
+        meta, records = _load_trace_file(args.run)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load trace: {error}", file=sys.stderr)
+        return 2
+    payload = to_chrome_trace(records)
+    text = _json.dumps(payload, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {len(payload['traceEvents'])} Chrome trace events "
+            f"to {args.out}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace_top(args: argparse.Namespace) -> int:
+    from repro.obs.trace import top_spans
+
+    try:
+        meta, records = _load_trace_file(args.run)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load trace: {error}", file=sys.stderr)
+        return 2
+    ranked = top_spans(records, by=args.by, limit=args.limit)
+    if not ranked:
+        print("no spans in this trace")
+        return 1
+    if args.by == "count":
+        print(format_table(
+            ["name", "count"], [[row["name"], row["count"]] for row in ranked]
+        ))
+        return 0
+    rows = [
+        [
+            row["name"],
+            row["trace"] or "-",
+            "-" if row["worker"] is None else row["worker"],
+            f"{row['t0'] * 1e3:.4f}",
+            f"{row['duration_s'] * 1e6:.2f}",
+        ]
+        for row in ranked
+    ]
+    print(format_table(
+        ["span", "trace", "worker", "t0 (ms)", "duration (us)"], rows
+    ))
+    return 0
+
+
 def _format_labels(labels: Optional[dict]) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted((labels or {}).items())) or "-"
 
@@ -796,6 +1008,40 @@ def _cmd_obs_show(args: argparse.Namespace) -> int:
     except (OSError, _json.JSONDecodeError, TypeError, KeyError) as error:
         print(f"error: cannot load manifest: {error}", file=sys.stderr)
         return 2
+    pdes = (manifest.result or {}).get("pdes")
+    if pdes and pdes.get("per_worker"):
+        print(
+            f"== pdes shards: run {manifest.run_id} "
+            f"({pdes['workers']} workers, {pdes['windows']} windows, "
+            f"{pdes['exchanges']} exchanges) =="
+        )
+        rows = [
+            [
+                worker["worker_index"],
+                worker["events_executed"],
+                worker["windows"],
+                worker["exchanges"],
+                worker["messages_sent"],
+                worker["messages_received"],
+                f"{worker['stall_seconds']:.4f}",
+                f"{worker['cpu_seconds']:.4f}",
+                worker["flows_completed"],
+                worker["model_packets"],
+                worker["invariant_violations"],
+            ]
+            for worker in pdes["per_worker"]
+        ]
+        print(format_table(
+            ["worker", "events", "windows", "exch", "sent", "recv",
+             "stall (s)", "cpu (s)", "flows", "model pkts", "viol"],
+            rows,
+        ))
+        trace_info = pdes.get("trace")
+        if trace_info:
+            print(
+                f"trace: {trace_info['recorded']} records merged across "
+                f"workers ({trace_info['evicted']} evicted)"
+            )
     snap = manifest.metrics
     if snap is None:
         print(f"run {manifest.run_id}: no observability snapshot in this manifest")
@@ -921,6 +1167,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_batching_arguments(hybrid)
     _add_metrics_argument(hybrid)
+    _add_trace_arguments(hybrid)
     hybrid.set_defaults(handler=_cmd_hybrid)
 
     pdes = commands.add_parser(
@@ -956,6 +1203,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect a per-worker metrics snapshot (hybrid mode)",
     )
     _add_batching_arguments(pdes)
+    _add_trace_arguments(pdes)
     pdes.set_defaults(handler=_cmd_pdes)
 
     cascade = commands.add_parser(
@@ -1023,6 +1271,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_batching_arguments(cascade)
     _add_metrics_argument(cascade)
+    _add_trace_arguments(cascade)
     cascade.set_defaults(handler=_cmd_cascade)
 
     flowsim = commands.add_parser(
@@ -1167,6 +1416,59 @@ def build_parser() -> argparse.ArgumentParser:
         "manifest", help="path to a manifest.json (or the run directory holding one)"
     )
     obs_show.set_defaults(handler=_cmd_obs_show)
+
+    trace = commands.add_parser(
+        "trace",
+        help="causal tracing: follow one flow across tiers, shards, and "
+        "workers (reads the trace.jsonl a traced run wrote)",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_show = trace_commands.add_parser(
+        "show", help="print every trace record of one flow, in causal order"
+    )
+    trace_show.add_argument(
+        "run", help="run directory, manifest.json, or trace.jsonl path"
+    )
+    trace_show.add_argument(
+        "flow", help="flow id (integer, resolved via the trace's seed) or "
+        "a trace-id hex prefix",
+    )
+    trace_show.add_argument(
+        "--domain", choices=("flow", "fluid"), default="flow",
+        help="id domain when flow is an integer (packet flows vs the "
+        "cascade's fluid flows)",
+    )
+    trace_show.set_defaults(handler=_cmd_trace_show)
+
+    trace_export = trace_commands.add_parser(
+        "export", help="export the trace for external viewers"
+    )
+    trace_export.add_argument(
+        "run", help="run directory, manifest.json, or trace.jsonl path"
+    )
+    trace_export.add_argument(
+        "--format", choices=("chrome",), default="chrome",
+        help="output format (chrome://tracing / Perfetto JSON)",
+    )
+    trace_export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write here instead of stdout",
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
+
+    trace_top = trace_commands.add_parser(
+        "top", help="rank trace records (longest spans or commonest names)"
+    )
+    trace_top.add_argument(
+        "run", help="run directory, manifest.json, or trace.jsonl path"
+    )
+    trace_top.add_argument(
+        "--by", choices=("span-duration", "count"), default="span-duration",
+        help="ranking: longest spans, or record-name frequency",
+    )
+    trace_top.add_argument("--limit", type=int, default=10)
+    trace_top.set_defaults(handler=_cmd_trace_top)
 
     info = commands.add_parser("info", help="version and model feature list")
     info.set_defaults(handler=_cmd_info)

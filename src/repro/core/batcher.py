@@ -62,6 +62,11 @@ class InferenceBatcher:
         ``hybrid.batch_size`` histogram and the
         ``hybrid.scalar_fallbacks`` / ``hybrid.batch_flushes``
         counters once, here.
+    tracer:
+        Optional :class:`~repro.obs.trace.FlightRecorder`; each
+        stacked inference round then records a ``batch.round`` event
+        with its lane count and the memoization hit/miss delta of the
+        engine that served it (the per-flush view of cache health).
 
     Attributes
     ----------
@@ -71,12 +76,13 @@ class InferenceBatcher:
         single lane — the causality fallback path.
     """
 
-    def __init__(self, sim, window_s: float, metrics=None) -> None:
+    def __init__(self, sim, window_s: float, metrics=None, tracer=None) -> None:
         from repro.core.cluster_model import MIN_REGION_LATENCY_S
 
         if window_s <= 0:
             raise ValueError(f"window_s must be positive, got {window_s}")
         self.sim = sim
+        self._tracer = tracer
         self.window_s = min(window_s, MIN_REGION_LATENCY_S)
         self._clusters: list = []  # registration order == round order
         self._lanes: dict = {}  # cluster name -> deque of (seq, arrival, packet)
@@ -160,6 +166,10 @@ class InferenceBatcher:
                 groups.setdefault(id(job[8]), []).append(job)
             for group in groups.values():
                 engine = group[0][8]
+                hits_before = misses_before = 0
+                if self._tracer is not None:
+                    hits_before = getattr(engine, "memo_hits", 0)
+                    misses_before = getattr(engine, "memo_misses", 0)
                 start = perf_counter()
                 outcomes = engine.predict_rows(
                     [job[6] for job in group],
@@ -175,6 +185,14 @@ class InferenceBatcher:
                         self._m_fallbacks.inc()
                 if self._m_batch_size is not None:
                     self._m_batch_size.observe(float(len(group)))
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "batch.round",
+                        size=len(group),
+                        memo_hits=getattr(engine, "memo_hits", 0) - hits_before,
+                        memo_misses=getattr(engine, "memo_misses", 0)
+                        - misses_before,
+                    )
                 for job, outcome in zip(group, outcomes):
                     job[3].add_inference_time(share)
                     job[3].batch_finalize(

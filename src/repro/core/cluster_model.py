@@ -117,6 +117,12 @@ class ApproximatedCluster(Entity):
         every delivery is checked for causality, per-egress FCFS
         monotonicity, and latency bounds (one ``is not None`` branch
         per packet when absent — same contract as ``metrics``).
+    tracer:
+        Optional :class:`~repro.obs.trace.FlightRecorder`.  Deliveries
+        record a ``model.decide`` span (arrival → delivery) and drops a
+        ``model.drop`` event, both attributed to the packet's flow
+        trace id; invariant findings carry the same id.  Same hot-path
+        contract: one ``is not None`` branch per packet when absent.
 
     Attributes
     ----------
@@ -142,6 +148,7 @@ class ApproximatedCluster(Entity):
         inference_dtype: str | np.dtype = np.float64,
         metrics=None,
         invariants=None,
+        tracer=None,
     ) -> None:
         if isinstance(region, int):
             region = Region.cluster(topology, region)
@@ -199,6 +206,7 @@ class ApproximatedCluster(Entity):
         self._batcher = None
         self._batch_engines: dict[Direction, tuple] = {}
         self._invariants = invariants
+        self._tracer = tracer
         if invariants is not None:
             invariants.watch_cluster(self)
 
@@ -315,6 +323,13 @@ class ApproximatedCluster(Entity):
             self.packets_dropped += 1
             if self._m_drops is not None:
                 self._m_drops.inc()
+            if self._tracer is not None:
+                self._tracer.event(
+                    "model.drop",
+                    trace=self._tracer.trace_for_packet(packet),
+                    t=now,
+                    cluster=self.region.name,
+                )
             self.macro.observe(now, dropped=True)
             if self.on_outcome is not None:
                 self.on_outcome(now, None, True)
@@ -334,9 +349,17 @@ class ApproximatedCluster(Entity):
         deliver_at = self._resolve_conflict(target, now + latency, packet)
         entity = self.resolve_entity(target)
         self.packets_delivered += 1
+        trace = None
+        if self._tracer is not None:
+            trace = self._tracer.packet_span(
+                "model.decide", now, deliver_at, packet,
+                self.region.name, target, True,
+            )
         if self._invariants is not None:
-            self._invariants.check_latency(self.name, now, latency)
-            self._invariants.check_delivery(self.name, target, now, deliver_at)
+            self._invariants.check_latency(self.name, now, latency, trace=trace)
+            self._invariants.check_delivery(
+                self.name, target, now, deliver_at, trace=trace
+            )
         remote = getattr(entity, "schedule_model_delivery", None)
         if remote is None:
             self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))
@@ -388,6 +411,13 @@ class ApproximatedCluster(Entity):
             self.packets_dropped += 1
             if self._m_drops is not None:
                 self._m_drops.inc()
+            if self._tracer is not None:
+                self._tracer.event(
+                    "model.drop",
+                    trace=self._tracer.trace_for_packet(packet),
+                    t=now,
+                    cluster=self.region.name,
+                )
             self.macro.observe(now, dropped=True)
             if self.on_outcome is not None:
                 self.on_outcome(now, None, True)
@@ -407,9 +437,17 @@ class ApproximatedCluster(Entity):
         deliver_at = self._resolve_conflict(target, now + latency, packet)
         entity = self.resolve_entity(target)
         self.packets_delivered += 1
+        trace = None
+        if self._tracer is not None:
+            trace = self._tracer.packet_span(
+                "model.decide", now, deliver_at, packet,
+                self.region.name, target, False,
+            )
         if self._invariants is not None:
-            self._invariants.check_latency(self.name, now, latency)
-            self._invariants.check_delivery(self.name, target, now, deliver_at)
+            self._invariants.check_latency(self.name, now, latency, trace=trace)
+            self._invariants.check_delivery(
+                self.name, target, now, deliver_at, trace=trace
+            )
         remote = getattr(entity, "schedule_model_delivery", None)
         if remote is None:
             self.sim.schedule_at(deliver_at, _Delivery(entity, packet, boundary))

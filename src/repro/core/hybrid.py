@@ -194,6 +194,12 @@ class HybridSimulation:
         causality, FCFS monotonicity, and latency bounds.  (Attach it
         to the kernel separately via ``attach_simulator`` to also
         observe scheduling calls.)
+    tracer:
+        Optional :class:`~repro.obs.trace.FlightRecorder`; handed to
+        every approximated cluster (``model.decide``/``model.drop``
+        records) and to the inference batcher (``batch.round``).  Wire
+        the same recorder into the traffic generator to get end-to-end
+        flow timelines.
 
     Attributes
     ----------
@@ -214,11 +220,15 @@ class HybridSimulation:
         metrics=None,
         invariants=None,
         shard: Optional[ShardableHybrid] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.trained = trained
         self.config = config or HybridConfig()
+        #: Optional :class:`~repro.obs.trace.FlightRecorder` shared by
+        #: the models and the batcher (same handle contract as metrics).
+        self.tracer = tracer
         #: Ownership seam (see :class:`ShardableHybrid`); the default
         #: owns everything — the single-process path *is* the 1-worker
         #: shard.
@@ -270,6 +280,7 @@ class HybridSimulation:
                 inference_dtype=self.config.inference_dtype,
                 metrics=metrics,
                 invariants=invariants,
+                tracer=tracer,
             )
             self.models[BLACK_BOX_KEY] = model
             for name in region.switches:
@@ -316,6 +327,7 @@ class HybridSimulation:
                     inference_dtype=self.config.inference_dtype,
                     metrics=metrics,
                     invariants=invariants,
+                    tracer=tracer,
                 )
                 self.models[cluster] = model
                 for name in fabric:
@@ -408,7 +420,7 @@ class HybridSimulation:
             for row, (model, member_direction, _) in enumerate(members):
                 model.set_batch_engine(member_direction, engine, row)
         self.batcher = InferenceBatcher(
-            self.sim, config.batch_window_s, metrics=metrics
+            self.sim, config.batch_window_s, metrics=metrics, tracer=self.tracer
         )
         for model in self.models.values():
             model.enable_batching(self.batcher)

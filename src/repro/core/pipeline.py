@@ -161,6 +161,7 @@ def make_generator(
     config: ExperimentConfig,
     flow_filter=None,
     flow_dispatch=None,
+    tracer=None,
 ) -> TrafficGenerator:
     """Build the load-calibrated traffic generator for an experiment.
 
@@ -184,6 +185,7 @@ def make_generator(
         arrivals=PoissonArrivals(rate),
         flow_filter=flow_filter,
         flow_dispatch=flow_dispatch,
+        tracer=tracer,
     )
 
 
@@ -298,6 +300,7 @@ def run_hybrid_simulation(
     hybrid: Optional[HybridConfig] = None,
     metrics=None,
     probe_period_s: Optional[float] = None,
+    tracer=None,
 ) -> tuple[RunResult, HybridSimulation]:
     """Stage 3: the approximate simulation.
 
@@ -306,15 +309,30 @@ def run_hybrid_simulation(
     elided per the hybrid configuration.  With ``metrics``, the
     approximated clusters publish per-packet inference / latency /
     drop instruments and sim-time probes sample queue depths, macro
-    states, and per-cluster drop rates every ``probe_period_s``.
+    states, and per-cluster drop rates every ``probe_period_s``.  With
+    ``tracer`` (a :class:`~repro.obs.trace.FlightRecorder`), every flow
+    gets admission/completion records and every model decision a span —
+    RNG-free, so seeded outcomes stay byte-identical.
     """
     topology = build_clos(config.clos)
     sim = Simulator(seed=config.seed)
+    if tracer is not None:
+        tracer.bind_clock(lambda: sim.now)
     hybrid_sim = HybridSimulation(
-        sim, topology, trained, net_config=config.net, config=hybrid, metrics=metrics
+        sim,
+        topology,
+        trained,
+        net_config=config.net,
+        config=hybrid,
+        metrics=metrics,
+        tracer=tracer,
     )
     generator = make_generator(
-        sim, hybrid_sim.network, config, flow_filter=hybrid_sim.flow_filter
+        sim,
+        hybrid_sim.network,
+        config,
+        flow_filter=hybrid_sim.flow_filter,
+        tracer=tracer,
     )
     if metrics is not None:
         from repro.obs import attach_hybrid_probes, default_period

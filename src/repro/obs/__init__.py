@@ -10,6 +10,11 @@ probes of queue depths, macro states, and per-cluster model health.
 Snapshots embed in run manifests; ``write_jsonl`` exports the full
 stream (``repro ... --metrics-out metrics.jsonl``); ``repro obs show``
 pretty-prints either.
+
+:mod:`repro.obs.trace` adds the per-flow layer the aggregates lack: a
+deterministic :class:`FlightRecorder` ring buffer of sim-time-stamped
+spans keyed by seed-derived trace ids, merged across PDES workers and
+exported to JSONL or Chrome trace-event JSON (``repro trace ...``).
 """
 
 from repro.obs.probes import (
@@ -29,8 +34,28 @@ from repro.obs.registry import (
     Span,
     read_jsonl,
 )
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    FlightRecorder,
+    flow_events,
+    merge_traces,
+    read_trace_jsonl,
+    to_chrome_trace,
+    top_spans,
+    trace_id,
+    write_trace_jsonl,
+)
 
 __all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "FlightRecorder",
+    "flow_events",
+    "merge_traces",
+    "read_trace_jsonl",
+    "to_chrome_trace",
+    "top_spans",
+    "trace_id",
+    "write_trace_jsonl",
     "Counter",
     "Gauge",
     "Histogram",

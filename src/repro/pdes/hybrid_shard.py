@@ -62,6 +62,7 @@ from repro.des.kernel import Simulator
 from repro.net.network import NetworkConfig
 from repro.net.tcp.receiver import TcpReceiver
 from repro.net.tcp.sender import TcpSender
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY, FlightRecorder, merge_traces
 from repro.pdes.engine import PdesConfig, resolve_window
 from repro.pdes.stub import RemoteEntityProxy, RemoteMessage, RemoteStub
 from repro.pdes.worker import FLOW_DST_PORT, FLOW_PORT_BASE
@@ -119,6 +120,14 @@ class HybridShardConfig:
         Build a per-worker :class:`~repro.obs.MetricsRegistry` and
         include its snapshot in each worker's stats.  Metrics never
         schedule events, so outcomes are identical on and off.
+    trace:
+        Build a per-worker :class:`~repro.obs.trace.FlightRecorder`
+        and include its events in each worker's stats (merged by the
+        coordinator).  The recorder stamps sim time only and draws no
+        randomness, so outcomes are identical on and off.
+    trace_capacity:
+        Flight-recorder ring size per worker; oldest records evict
+        first when a run outgrows it.
     inject_crash:
         Test hook: worker index that raises mid-window (``None`` off).
     """
@@ -127,6 +136,8 @@ class HybridShardConfig:
     window_s: Optional[float] = None
     worker_timeout_s: float = 300.0
     metrics: bool = False
+    trace: bool = False
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
     inject_crash: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -137,6 +148,10 @@ class HybridShardConfig:
         if self.worker_timeout_s <= 0:
             raise ValueError(
                 f"worker_timeout_s must be positive, got {self.worker_timeout_s}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
 
@@ -157,7 +172,9 @@ class WorkerCrashError(RuntimeError):
 
     Carries the failing worker's index and the original exception's
     type/message/traceback so manifests can record *what* failed
-    instead of a bare hang or timeout.
+    instead of a bare hang or timeout.  When the worker ran with
+    tracing enabled, ``trace_tail`` holds the last window of its
+    flight recorder — the events leading up to the crash.
     """
 
     def __init__(
@@ -166,6 +183,7 @@ class WorkerCrashError(RuntimeError):
         error_type: str,
         message: str,
         traceback_str: str = "",
+        trace_tail: Optional[list] = None,
     ) -> None:
         super().__init__(
             f"PDES worker {worker_index} failed: {error_type}: {message}"
@@ -174,6 +192,7 @@ class WorkerCrashError(RuntimeError):
         self.error_type = error_type
         self.message = message
         self.traceback_str = traceback_str
+        self.trace_tail = trace_tail or []
 
 
 # ----------------------------------------------------------------------
@@ -318,15 +337,19 @@ class ShardStats:
     invariants: dict
     cpu_seconds: float = 0.0
     metrics_snapshot: Optional[dict] = None
+    trace_events: Optional[list] = None
+    trace_recorded: int = 0
+    trace_evicted: int = 0
 
     def deterministic_view(self) -> dict:
         """The wall-clock-free projection used by determinism tests.
 
         Excludes ``stall_seconds``, ``inference_seconds``,
-        ``cpu_seconds``, the metrics snapshot, and hot-path wall-clock
-        ratios — everything else must be byte-identical across
-        same-seed same-worker-count runs.
-        """
+        ``cpu_seconds``, the metrics snapshot, trace events, and
+        hot-path wall-clock ratios — everything else must be
+        byte-identical across same-seed same-worker-count runs (trace
+        events are themselves deterministic, but are excluded so the
+        signature is comparable across tracing on/off/capacity)."""
         deterministic_hot_path = {
             key: value
             for key, value in self.hot_path.items()
@@ -456,6 +479,25 @@ class PdesHybridResult:
             return float("inf")
         return self.sim_seconds / self.wallclock_seconds
 
+    @property
+    def trace_recorded(self) -> int:
+        return sum(s.trace_recorded for s in self.worker_stats)
+
+    @property
+    def trace_evicted(self) -> int:
+        return sum(s.trace_evicted for s in self.worker_stats)
+
+    def merged_trace(self) -> list[dict]:
+        """All workers' flight-recorder events in causal merge order.
+
+        Sorted by (sim time, worker, per-worker sequence) — see
+        :func:`repro.obs.trace.merge_traces`.  Empty when the run was
+        not traced.
+        """
+        return merge_traces(
+            [s.trace_events for s in self.worker_stats if s.trace_events]
+        )
+
     # -- canonical views -----------------------------------------------
     def outcome_signature(self) -> str:
         """Byte-comparable merged outcome (FCT/RTT/drops/completions)."""
@@ -559,6 +601,9 @@ def _schedule_incoming(
     entities: dict[str, object],
     incoming: dict[tuple[str, str], list[RemoteMessage]],
     window_end: float,
+    tracer: Optional[FlightRecorder] = None,
+    peer: Optional[int] = None,
+    window_seq: int = 0,
 ) -> tuple[int, int]:
     """Schedule barrier-received messages; returns (count, violations).
 
@@ -567,6 +612,11 @@ def _schedule_incoming(
     The conservative window bound makes this impossible by
     construction; the counter exists so the property tests (and every
     merged manifest) can assert it stayed zero.
+
+    With a ``tracer``, each message lands an ``exchange.recv`` event
+    stamped at its *effective* delivery time — at or after the barrier,
+    hence at or after the sender's ``exchange.send`` stamp, so the
+    merged trace shows send before receive in sim time.
     """
     count = 0
     violations = 0
@@ -576,8 +626,18 @@ def _schedule_incoming(
             if message.deliver_at <= window_end - 1e-18:
                 violations += 1
             entity = entities[message.target_node]
+            deliver_at = max(message.deliver_at, window_end)
+            if tracer is not None:
+                tracer.event(
+                    "exchange.recv",
+                    trace=tracer.trace_for_packet(message.packet),
+                    t=deliver_at,
+                    peer=peer,
+                    window=window_seq,
+                    target=message.target_node,
+                )
             sim.schedule_at(
-                max(message.deliver_at, window_end),
+                deliver_at,
                 lambda e=entity, m=message: e.receive(m.packet, m.from_node),
             )
     return count, violations
@@ -595,6 +655,7 @@ def _run_shard(
     window_s: float,
     seed: int,
     metrics_enabled: bool,
+    tracer: Optional[FlightRecorder],
     inject_crash: Optional[int],
     parent_conn: Connection,
     peer_conns: dict[int, Connection],
@@ -606,12 +667,16 @@ def _run_shard(
     # stream name, so each cluster model draws the exact values it
     # would draw in the single-process hybrid.
     sim = Simulator(seed=seed)
+    if tracer is not None:
+        tracer.bind_clock(lambda: sim.now)
     metrics = None
     if metrics_enabled:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry(enabled=True)
-    invariants = InvariantChecker(metrics=metrics).attach_simulator(sim)
+    invariants = InvariantChecker(metrics=metrics, tracer=tracer).attach_simulator(
+        sim
+    )
 
     outbox: dict[int, dict[tuple[str, str], list[RemoteMessage]]] = {}
 
@@ -636,6 +701,7 @@ def _run_shard(
         metrics=metrics,
         invariants=invariants,
         shard=shard_seam,
+        tracer=tracer,
     )
     network = hybrid_sim.network
 
@@ -668,13 +734,28 @@ def _run_shard(
     fcts: list[float] = []
     flows_completed = 0
 
-    def make_on_complete():
+    def make_on_complete(flow: ScheduledFlow):
+        trace = None
+        if tracer is not None:
+            trace = tracer.trace_for_flow(flow.flow_id)
+
         def on_complete(fct: float) -> None:
             nonlocal flows_completed
             flows_completed += 1
             fcts.append(fct)
+            if tracer is not None:
+                tracer.event(
+                    "flow.complete", trace=trace, fct=fct, size=flow.size_bytes
+                )
 
         return on_complete
+
+    if tracer is not None:
+        # Every worker knows every flow's demux key: a packet can cross
+        # a cluster model on a worker that owns neither endpoint, and
+        # attribution must still find its trace id.
+        for flow in flows:
+            tracer.register_flow(flow.flow_id, key=(flow.src, flow.src_port))
 
     for flow in flows:
         if flow.dst in partition:
@@ -697,10 +778,19 @@ def _run_shard(
                 dst_port=FLOW_DST_PORT,
                 total_bytes=flow.size_bytes,
                 config=net_config.tcp,
-                on_complete=make_on_complete(),
+                on_complete=make_on_complete(flow),
                 rtt_monitor=src_host.rtt_monitor,
             )
             src_host.register_sender(sender)
+            if tracer is not None:
+                tracer.event(
+                    "flow.admit",
+                    trace=tracer.trace_for_flow(flow.flow_id),
+                    t=flow.start_time,
+                    src=flow.src,
+                    dst=flow.dst,
+                    size=flow.size_bytes,
+                )
             sim.schedule_at(flow.start_time, sender.start)
 
     if inject_crash == worker_index:
@@ -737,6 +827,20 @@ def _run_shard(
             payload: dict[tuple[str, str], list[RemoteMessage]] = {
                 link: pending.pop(link) for link in list(pending)
             }
+            if tracer is not None:
+                # Stamped at the barrier (sim.now == window_end), which
+                # is at or before every message's effective delivery on
+                # the peer — send precedes receive in the merged trace.
+                for messages in payload.values():
+                    for message in messages:
+                        tracer.event(
+                            "exchange.send",
+                            trace=tracer.trace_for_packet(message.packet),
+                            peer=peer,
+                            window=windows,
+                            target=message.target_node,
+                            deliver_at=message.deliver_at,
+                        )
             conn = peer_conns[peer]
             stall_started = _wallclock.perf_counter()
             # Pairwise ordered exchange (lower index sends first) —
@@ -751,7 +855,13 @@ def _run_shard(
             exchanges += 1
             messages_sent += sum(len(msgs) for msgs in payload.values())
             received, violated = _schedule_incoming(
-                sim, entities, incoming, window_end
+                sim,
+                entities,
+                incoming,
+                window_end,
+                tracer=tracer,
+                peer=peer,
+                window_seq=windows,
             )
             messages_received += received
             lookahead_violations += violated
@@ -795,6 +905,9 @@ def _run_shard(
         invariants=invariants.summary(),
         cpu_seconds=cpu_seconds,
         metrics_snapshot=metrics.snapshot() if metrics is not None else None,
+        trace_events=tracer.records() if tracer is not None else None,
+        trace_recorded=tracer.recorded if tracer is not None else 0,
+        trace_evicted=tracer.evicted if tracer is not None else 0,
     )
 
 
@@ -810,6 +923,7 @@ def _shard_worker_main(
     window_s: float,
     seed: int,
     metrics_enabled: bool,
+    trace_capacity: Optional[int],
     inject_crash: Optional[int],
     parent_conn: Connection,
     peer_conns: dict[int, Connection],
@@ -818,8 +932,16 @@ def _shard_worker_main(
 
     Every failure — setup or mid-window — is reported to the parent as
     a structured ``("error", ...)`` message before the process exits,
-    so the parent can surface *what* broke instead of timing out.
+    so the parent can surface *what* broke instead of timing out.  The
+    flight recorder (``trace_capacity`` not ``None``) is created here,
+    outside :func:`_run_shard`, so a crash report can carry its tail —
+    the last window of spans before the worker died.
     """
+    tracer = None
+    if trace_capacity is not None:
+        tracer = FlightRecorder(
+            seed=seed, capacity=trace_capacity, worker=worker_index
+        )
     try:
         stats = _run_shard(
             worker_index,
@@ -833,6 +955,7 @@ def _shard_worker_main(
             window_s,
             seed,
             metrics_enabled,
+            tracer,
             inject_crash,
             parent_conn,
             peer_conns,
@@ -847,6 +970,9 @@ def _shard_worker_main(
                         "type": type(exc).__name__,
                         "message": str(exc),
                         "traceback": _traceback.format_exc(),
+                        "trace_tail": (
+                            tracer.tail() if tracer is not None else []
+                        ),
                     },
                 )
             )
@@ -901,6 +1027,7 @@ def _collect(
                         payload["type"],
                         payload["message"],
                         payload.get("traceback", ""),
+                        trace_tail=payload.get("trace_tail"),
                     )
                 if tag != expected_tag:
                     raise WorkerCrashError(
@@ -1014,6 +1141,7 @@ def run_hybrid_sharded(
                 window,
                 config.seed,
                 shard.metrics,
+                shard.trace_capacity if shard.trace else None,
                 shard.inject_crash,
                 worker_parent_ends[index],
                 peer_conns[index],

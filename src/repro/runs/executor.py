@@ -79,6 +79,43 @@ def _summarize_result(result: RunResult) -> dict[str, Any]:
     }
 
 
+def _pop_trace_capacity(options: dict[str, Any]) -> Optional[int]:
+    """Pop the ``trace`` / ``trace_capacity`` knobs from a stage's
+    hybrid-options dict; returns the ring capacity when tracing was
+    requested, ``None`` otherwise (the knobs must be popped either way
+    so they never reach ``HybridConfig``/``CascadeConfig``)."""
+    from repro.obs.trace import DEFAULT_TRACE_CAPACITY
+
+    enabled = bool(options.pop("trace", False))
+    capacity = int(options.pop("trace_capacity", DEFAULT_TRACE_CAPACITY))
+    return capacity if enabled else None
+
+
+def _make_tracer(options: dict[str, Any], seed: int):
+    """Build a single-process FlightRecorder if the options ask for one."""
+    capacity = _pop_trace_capacity(options)
+    if capacity is None:
+        return None
+    from repro.obs.trace import FlightRecorder
+
+    return FlightRecorder(seed=seed, capacity=capacity)
+
+
+def _write_trace_artifact(
+    run_dir: Path, events: list[dict], meta: dict[str, Any]
+) -> dict[str, str]:
+    """Write ``trace.jsonl`` next to the manifest; best-effort (a full
+    disk must not fail the run that was being traced)."""
+    from repro.obs.trace import write_trace_jsonl
+
+    path = run_dir / "trace.jsonl"
+    try:
+        write_trace_jsonl(path, events, meta=meta)
+    except OSError:
+        return {}
+    return {"trace": str(path)}
+
+
 def _apply_injections(request: RunRequest, attempt: int) -> None:
     """Test hooks: deterministic failures and hangs (see ScenarioSpec)."""
     hang_s = float(request.inject.get("hang_s", 0.0))
@@ -133,12 +170,28 @@ def _run_stage(
                 artifacts,
             )
         if request.stage == "hybrid":
-            hybrid_config = HybridConfig(**request.hybrid)
+            options = dict(request.hybrid)
+            tracer = _make_tracer(options, request.experiment.seed)
+            hybrid_config = HybridConfig(**options)
             result, hybrid_sim = run_hybrid_simulation(
                 request.experiment, lookup.model, hybrid=hybrid_config,
-                metrics=metrics,
+                metrics=metrics, tracer=tracer,
             )
             counters = hybrid_sim.hot_path_counters(result.wallclock_seconds)
+            if tracer is not None:
+                artifacts.update(
+                    _write_trace_artifact(
+                        run_dir,
+                        tracer.records(),
+                        meta={
+                            "stage": request.stage,
+                            "seed": request.experiment.seed,
+                            "workers": 1,
+                            "recorded": tracer.recorded,
+                            "evicted": tracer.evicted,
+                        },
+                    )
+                )
             return _summarize_result(result), counters, model_info, artifacts
         if request.stage == "pdes-hybrid":
             # Sharded hybrid: the model travels to workers as a
@@ -151,11 +204,16 @@ def _run_stage(
 
             options = dict(request.hybrid)
             inject_crash = options.pop("inject_crash", None)
+            trace_capacity = _pop_trace_capacity(options)
+            shard_kwargs: dict[str, Any] = {}
+            if trace_capacity is not None:
+                shard_kwargs = {"trace": True, "trace_capacity": trace_capacity}
             shard_config = HybridShardConfig(
                 workers=int(options.pop("workers", 2)),
                 window_s=options.pop("window_s", None),
                 worker_timeout_s=float(options.pop("worker_timeout_s", 300.0)),
                 inject_crash=None if inject_crash is None else int(inject_crash),
+                **shard_kwargs,
             )
             hybrid_config = HybridConfig(**options)
             model_ref = ModelRef(
@@ -185,6 +243,24 @@ def _run_stage(
                 "fct": _sample_summary(pdes_result.fcts),
                 "pdes": pdes_result.merged_counters(),
             }
+            if shard_config.trace:
+                result_dict["pdes"]["trace"] = {
+                    "recorded": pdes_result.trace_recorded,
+                    "evicted": pdes_result.trace_evicted,
+                }
+                artifacts.update(
+                    _write_trace_artifact(
+                        run_dir,
+                        pdes_result.merged_trace(),
+                        meta={
+                            "stage": request.stage,
+                            "seed": request.experiment.seed,
+                            "workers": pdes_result.workers,
+                            "recorded": pdes_result.trace_recorded,
+                            "evicted": pdes_result.trace_evicted,
+                        },
+                    )
+                )
             return result_dict, counters, model_info, artifacts
         if request.stage == "cascade":
             # Multi-fidelity cascade: the manifest carries the tier
@@ -192,10 +268,12 @@ def _run_stage(
             # and the auditable decision log lands next to it.
             from repro.cascade import CascadeConfig, run_cascade_simulation
 
-            cascade_config = CascadeConfig.from_dict(request.hybrid)
+            options = dict(request.hybrid)
+            tracer = _make_tracer(options, request.experiment.seed)
+            cascade_config = CascadeConfig.from_dict(options)
             cascade_result, cascade_sim = run_cascade_simulation(
                 request.experiment, lookup.model, cascade=cascade_config,
-                metrics=metrics,
+                metrics=metrics, tracer=tracer,
             )
             counters = cascade_sim.hybrid.hot_path_counters(
                 cascade_result.result.wallclock_seconds
@@ -206,6 +284,20 @@ def _run_stage(
             decisions_path = run_dir / "decisions.json"
             cascade_sim.decision_log.save(decisions_path)
             artifacts["decisions"] = str(decisions_path)
+            if tracer is not None:
+                artifacts.update(
+                    _write_trace_artifact(
+                        run_dir,
+                        tracer.records(),
+                        meta={
+                            "stage": request.stage,
+                            "seed": request.experiment.seed,
+                            "workers": 1,
+                            "recorded": tracer.recorded,
+                            "evicted": tracer.evicted,
+                        },
+                    )
+                )
             return result_dict, counters, model_info, artifacts
         if request.stage == "validate":
             # Differential fidelity: a matched full/hybrid pair scored
@@ -311,6 +403,11 @@ def execute_run(
             "message": str(error),
             "traceback": traceback.format_exc(),
         }
+        # A crashed PDES worker's flight recorder survives in its error
+        # report; carry the last window of spans into the manifest.
+        trace_tail = getattr(error, "trace_tail", None)
+        if trace_tail:
+            manifest.error["trace_tail"] = trace_tail
     # The observability snapshot rides in the manifest either way — on
     # failure it is the flight recorder (how far did the span tree get).
     manifest.metrics = metrics.snapshot()

@@ -29,13 +29,19 @@ from repro.traffic.matrix import TrafficMatrix
 
 @dataclass
 class FlowRecord:
-    """Bookkeeping for one generated flow."""
+    """Bookkeeping for one generated flow.
+
+    ``flow_id`` is the launch-order index — the identity shared by the
+    flight recorder, the PDES flow schedule, and the cascade's
+    scoring-window flow lists (``-1`` only for hand-built records).
+    """
 
     src: str
     dst: str
     size_bytes: int
     start_time: float
     completion_time: Optional[float] = None
+    flow_id: int = -1
 
     @property
     def fct(self) -> Optional[float]:
@@ -71,6 +77,13 @@ class TrafficGenerator(Entity):
         perturbs the seeded workload.
     max_flows:
         Stop generating after this many arrivals (None = unbounded).
+    tracer:
+        Optional :class:`~repro.obs.trace.FlightRecorder`.  Every
+        launched flow gets a ``flow.admit`` record (and a registered
+        ``(src, src_port)`` lookup key so hot paths can attribute its
+        packets) plus a ``flow.complete`` record with its FCT.  The
+        flow id is the launch-order index — the same identity the PDES
+        flow schedule uses.
     """
 
     def __init__(
@@ -83,6 +96,7 @@ class TrafficGenerator(Entity):
         flow_filter: Optional[Callable[[str, str], bool]] = None,
         flow_dispatch: Optional[Callable[[str, str, int], bool]] = None,
         max_flows: Optional[int] = None,
+        tracer=None,
     ) -> None:
         super().__init__(sim, "traffic-generator")
         self.network = network
@@ -92,6 +106,7 @@ class TrafficGenerator(Entity):
         self.flow_filter = flow_filter
         self.flow_dispatch = flow_dispatch
         self.max_flows = max_flows
+        self._tracer = tracer
         #: Optional tap called with the :class:`FlowRecord` of every
         #: completed packet flow (the cascade's FCT windows).
         self.on_flow_complete: Optional[Callable[[FlowRecord], None]] = None
@@ -146,20 +161,39 @@ class TrafficGenerator(Entity):
         their remaining bytes) through the exact same TCP path and
         bookkeeping as generated flows.
         """
-        record = FlowRecord(src=src, dst=dst, size_bytes=size_bytes, start_time=self.now)
+        flow_id = len(self.flows)
+        record = FlowRecord(
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            start_time=self.now,
+            flow_id=flow_id,
+        )
         self.flows.append(record)
         self.flows_started += 1
         src_host = self.network.host(src)
         dst_host = self.network.host(dst)
+        trace = None
+        if self._tracer is not None:
+            trace = self._tracer.trace_for_flow(flow_id)
 
-        def on_complete(fct: float, record: FlowRecord = record) -> None:
+        def on_complete(fct: float, record: FlowRecord = record, trace=trace) -> None:
             record.completion_time = self.now
             self.flows_completed += 1
             self.fct_monitor.record(fct)
+            if trace is not None:
+                self._tracer.event(
+                    "flow.complete", trace=trace, fct=fct, size=record.size_bytes
+                )
             if self.on_flow_complete is not None:
                 self.on_flow_complete(record)
 
         sender = src_host.open_flow(dst_host, size_bytes, on_complete=on_complete)
+        if trace is not None:
+            self._tracer.register_flow(flow_id, key=(src, sender.src_port))
+            self._tracer.event(
+                "flow.admit", trace=trace, src=src, dst=dst, size=size_bytes
+            )
         sender.start()
         return record
 

@@ -56,15 +56,25 @@ class InvariantViolation:
         Simulated time at which the violation was detected.
     detail:
         Human-readable description with the offending values.
+    trace:
+        Trace id of the offending flow when the call site could
+        attribute one (``None`` otherwise) — the hook that lets
+        ``repro trace show`` jump from a violation to the flow.
     """
 
     invariant: str
     time: float
     detail: str
+    trace: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view (manifests, reports)."""
-        return {"invariant": self.invariant, "time": self.time, "detail": self.detail}
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "detail": self.detail,
+            "trace": self.trace,
+        }
 
 
 class InvariantChecker:
@@ -76,6 +86,11 @@ class InvariantChecker:
         Optional :class:`~repro.obs.MetricsRegistry`; violations then
         increment ``validate.invariant_violations`` counters labeled
         by invariant name.
+    tracer:
+        Optional :class:`~repro.obs.trace.FlightRecorder`; every
+        violation then also lands in the flight recorder as an
+        ``invariant.violation`` event carrying the offending flow's
+        trace id (when the call site supplied one).
     max_recorded:
         Detailed :class:`InvariantViolation` records kept (counts are
         always exact); bounded so a badly broken run cannot OOM the
@@ -89,7 +104,7 @@ class InvariantChecker:
         First ``max_recorded`` violations with full detail.
     """
 
-    def __init__(self, metrics=None, max_recorded: int = 64) -> None:
+    def __init__(self, metrics=None, max_recorded: int = 64, tracer=None) -> None:
         self.counts: dict[str, int] = {name: 0 for name in INVARIANTS}
         self.violations: list[InvariantViolation] = []
         self.max_recorded = max_recorded
@@ -99,11 +114,14 @@ class InvariantChecker:
         self._metrics = (
             metrics if metrics is not None and metrics.handles_enabled() else None
         )
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record(self, invariant: str, time: float, detail: str) -> None:
+    def record(
+        self, invariant: str, time: float, detail: str, trace: Optional[str] = None
+    ) -> None:
         """Count one violation (and keep its detail if under the cap)."""
         if invariant not in self.counts:
             raise ValueError(
@@ -111,7 +129,7 @@ class InvariantChecker:
             )
         self.counts[invariant] += 1
         if len(self.violations) < self.max_recorded:
-            self.violations.append(InvariantViolation(invariant, time, detail))
+            self.violations.append(InvariantViolation(invariant, time, detail, trace))
         if self._metrics is not None:
             handle = self._handles.get(invariant)
             if handle is None:
@@ -119,6 +137,14 @@ class InvariantChecker:
                     "validate.invariant_violations", invariant=invariant
                 )
             handle.inc()
+        if self._tracer is not None:
+            self._tracer.event(
+                "invariant.violation",
+                trace=trace,
+                t=time,
+                invariant=invariant,
+                detail=detail,
+            )
 
     @property
     def total(self) -> int:
@@ -171,7 +197,13 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Hot-path checks (called per packet by ApproximatedCluster)
     # ------------------------------------------------------------------
-    def check_latency(self, cluster: str, now: float, latency_s: float) -> None:
+    def check_latency(
+        self,
+        cluster: str,
+        now: float,
+        latency_s: float,
+        trace: Optional[str] = None,
+    ) -> None:
         """Predicted latency must respect the model's physical bounds."""
         if not MIN_REGION_LATENCY_S <= latency_s <= MAX_REGION_LATENCY_S:
             self.record(
@@ -179,10 +211,16 @@ class InvariantChecker:
                 now,
                 f"{cluster}: predicted latency {latency_s!r}s outside "
                 f"[{MIN_REGION_LATENCY_S}, {MAX_REGION_LATENCY_S}]",
+                trace=trace,
             )
 
     def check_delivery(
-        self, cluster: str, target: str, now: float, deliver_at: float
+        self,
+        cluster: str,
+        target: str,
+        now: float,
+        deliver_at: float,
+        trace: Optional[str] = None,
     ) -> None:
         """A delivery must be causal and FCFS-monotone per egress node."""
         if deliver_at < now:
@@ -190,6 +228,7 @@ class InvariantChecker:
                 "causality",
                 now,
                 f"{cluster}: delivery to {target} at {deliver_at!r} < now={now!r}",
+                trace=trace,
             )
         key = (cluster, target)
         last = self._fcfs_last.get(key)
@@ -199,6 +238,7 @@ class InvariantChecker:
                 now,
                 f"{cluster}: delivery to {target} at {deliver_at!r} precedes "
                 f"earlier delivery at {last!r}",
+                trace=trace,
             )
         self._fcfs_last[key] = deliver_at
 

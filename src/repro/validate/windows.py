@@ -35,10 +35,12 @@ class SlidingWindow:
     __slots__ = ("_samples",)
 
     def __init__(self) -> None:
-        self._samples: deque[tuple[float, float]] = deque()
+        self._samples: deque[tuple[float, float, Optional[str]]] = deque()
 
-    def add(self, time: float, value: float) -> None:
-        self._samples.append((time, value))
+    def add(self, time: float, value: float, tag: Optional[str] = None) -> None:
+        """Append one sample; ``tag`` optionally names its origin (the
+        flow id string the cascade's breach records surface)."""
+        self._samples.append((time, value, tag))
 
     def evict_before(self, cutoff: float) -> None:
         samples = self._samples
@@ -46,7 +48,12 @@ class SlidingWindow:
             samples.popleft()
 
     def values(self) -> list[float]:
-        return [value for _, value in self._samples]
+        return [sample[1] for sample in self._samples]
+
+    def tags(self) -> list[str]:
+        """Non-``None`` tags of the samples currently in the window,
+        in insertion order (duplicates preserved)."""
+        return [sample[2] for sample in self._samples if sample[2] is not None]
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -74,8 +81,19 @@ class RegionWindows:
         self.latency = SlidingWindow()
         self.drops = SlidingWindow()
 
-    def record_fct(self, time: float, fct: float) -> None:
-        self.fct.add(time, fct)
+    def record_fct(
+        self, time: float, fct: float, flow: Optional[str] = None
+    ) -> None:
+        """Add one completed-flow sample; ``flow`` names it (e.g.
+        ``"flow:17"`` / ``"fluid:3"``) so breach records can list the
+        flows behind a scoring window."""
+        self.fct.add(time, fct, tag=flow)
+
+    def window_flows(self) -> list[str]:
+        """Sorted unique flow names currently in the FCT window —
+        evicted together with their samples, so a breach record names
+        exactly the flows that were scored."""
+        return sorted(set(self.fct.tags()))
 
     def record_outcome(
         self, time: float, latency_s: Optional[float], dropped: bool

@@ -1,0 +1,207 @@
+"""Tracing matrix for the sharded hybrid: observe everything, perturb nothing.
+
+Satellite 3 of the tracing PR plus the tentpole's integration test:
+
+* the determinism matrix — ``outcome_signature`` must be byte-identical
+  with tracing off, on, and on-with-ring-overflow, across 1/2/4 PDES
+  workers (a flight recorder draws no randomness and schedules no
+  events, so this holds by construction; the matrix pins it);
+* cross-worker causality — a 2-worker merged trace must show one flow's
+  records on both workers' tracks, with every cut-link ``exchange.send``
+  stamped no later in sim time than its window's ``exchange.recv``;
+* crash forensics — a dying worker's last window of records rides the
+  structured crash payload into ``WorkerCrashError`` and the run
+  manifest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.hybrid import HybridConfig
+from repro.core.micro import MicroModelConfig
+from repro.core.pipeline import ExperimentConfig
+from repro.obs.trace import CHROME_REQUIRED_KEYS, read_trace_jsonl, to_chrome_trace
+from repro.pdes import HybridShardConfig, WorkerCrashError, run_hybrid_sharded
+from repro.runs.executor import execute_run
+from repro.runs.spec import RunRequest
+from repro.topology.clos import ClosParams
+
+HYBRID = HybridConfig(elide_remote_traffic=False)
+
+
+def _experiment(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        clos=ClosParams(clusters=3), load=0.25, duration_s=0.0015, seed=seed
+    )
+
+
+def _run(trained_bundle, workers: int, **shard_kwargs):
+    return run_hybrid_sharded(
+        _experiment(3),
+        trained_bundle,
+        shard=HybridShardConfig(workers=workers, **shard_kwargs),
+        hybrid=HYBRID,
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism matrix: trace off / on / on-with-overflow x 1/2/4 workers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_tracing_does_not_perturb_outcomes(trained_bundle, workers):
+    off = _run(trained_bundle, workers)
+    on = _run(trained_bundle, workers, trace=True)
+    # A deliberately tiny ring: constant eviction pressure must not
+    # change outcomes either (eviction is a deque pop, not an event).
+    overflow = _run(trained_bundle, workers, trace=True, trace_capacity=16)
+    assert (
+        off.outcome_signature()
+        == on.outcome_signature()
+        == overflow.outcome_signature()
+    )
+    assert (
+        off.determinism_signature()
+        == on.determinism_signature()
+        == overflow.determinism_signature()
+    )
+    assert all(s.trace_events is None for s in off.worker_stats)
+    assert all(s.trace_events is not None for s in on.worker_stats)
+    assert on.trace_recorded > 0
+    assert overflow.trace_recorded == on.trace_recorded
+    assert overflow.trace_evicted > 0
+    assert all(
+        len(s.trace_events) <= 16 for s in overflow.worker_stats
+    )
+
+
+def test_traced_reruns_are_byte_identical(trained_bundle):
+    first = _run(trained_bundle, 2, trace=True)
+    again = _run(trained_bundle, 2, trace=True)
+    assert json.dumps(first.merged_trace(), sort_keys=True) == json.dumps(
+        again.merged_trace(), sort_keys=True
+    )
+
+
+def test_trace_capacity_validated():
+    with pytest.raises(ValueError, match="trace_capacity"):
+        HybridShardConfig(trace_capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Tentpole integration: one flow across two workers, causally ordered
+# ----------------------------------------------------------------------
+def test_merged_trace_spans_worker_tracks_causally(trained_bundle):
+    result = _run(trained_bundle, 2, trace=True)
+    merged = result.merged_trace()
+    assert merged, "traced 2-worker run produced no records"
+    # Merge order is (t0, worker, seq) — non-decreasing sim time.
+    times = [r["t0"] for r in merged]
+    assert times == sorted(times)
+    # At least one flow left records on both workers' tracks.
+    tracks: dict[str, set] = {}
+    for record in merged:
+        if record["trace"]:
+            tracks.setdefault(record["trace"], set()).add(record["worker"])
+    cross = {t for t, workers in tracks.items() if len(workers) == 2}
+    assert cross, "no flow was traced on both workers"
+    # Cut-link causality: within one (trace, window), every send was
+    # stamped at the window barrier, no later than any delivery.
+    sends: dict[tuple, list] = {}
+    recvs = []
+    for record in merged:
+        key = (record["trace"], record["args"].get("window"))
+        if record["name"] == "exchange.send":
+            sends.setdefault(key, []).append(record)
+        elif record["name"] == "exchange.recv":
+            recvs.append((key, record))
+    assert sends and recvs, "2-worker run produced no exchange records"
+    paired = 0
+    for key, recv in recvs:
+        for send in sends.get(key, ()):
+            assert send["t0"] <= recv["t0"] + 1e-12
+            paired += 1
+    assert paired > 0, "no exchange.recv paired with its send"
+    # The merged trace exports to valid Chrome trace-event JSON.
+    doc = json.loads(json.dumps(to_chrome_trace(merged)))
+    assert doc["traceEvents"]
+    for event in doc["traceEvents"]:
+        for required in CHROME_REQUIRED_KEYS:
+            assert required in event
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {0, 1}  # one Chrome process track per worker
+
+
+# ----------------------------------------------------------------------
+# Crash forensics: the flight recorder's tail survives the worker
+# ----------------------------------------------------------------------
+def test_worker_crash_carries_trace_tail(trained_bundle):
+    with pytest.raises(WorkerCrashError) as exc_info:
+        _run(trained_bundle, 2, trace=True, inject_crash=1)
+    error = exc_info.value
+    assert error.worker_index == 1
+    assert error.trace_tail, "crash payload lost the flight-recorder tail"
+    assert all(record["worker"] == 1 for record in error.trace_tail)
+
+
+def _request(run_id: str, hybrid: dict) -> RunRequest:
+    return RunRequest(
+        run_id=run_id,
+        index=0,
+        spec_name="trace",
+        stage="pdes-hybrid",
+        axes={},
+        seed_master=9,
+        seed_derived=9,
+        experiment=ExperimentConfig(
+            clos=ClosParams(clusters=3), load=0.25, duration_s=0.0015, seed=9
+        ),
+        training=ExperimentConfig(
+            clos=ClosParams(clusters=2), load=0.25, duration_s=0.004, seed=7
+        ),
+        micro=MicroModelConfig(
+            hidden_size=8, num_layers=1, window=8, train_batches=5
+        ),
+        hybrid=hybrid,
+    )
+
+
+def test_executor_writes_merged_trace_artifact(tmp_path):
+    manifest = execute_run(
+        _request(
+            "trace-0000",
+            {"workers": 2, "trace": True, "elide_remote_traffic": False},
+        ),
+        str(tmp_path / "runs"),
+        str(tmp_path / "models"),
+        attempt=1,
+    )
+    assert manifest["status"] == "completed"
+    assert manifest["result"]["pdes"]["trace"]["recorded"] > 0
+    trace_path = manifest["artifacts"]["trace"]
+    meta, records = read_trace_jsonl(trace_path)
+    assert meta["workers"] == 2 and meta["seed"] == 9
+    assert records and {r["worker"] for r in records} <= {0, 1}
+
+
+def test_crash_manifest_carries_trace_tail(tmp_path):
+    manifest = execute_run(
+        _request(
+            "trace-crash-0000",
+            {
+                "workers": 2,
+                "trace": True,
+                "inject_crash": 0,
+                "elide_remote_traffic": False,
+            },
+        ),
+        str(tmp_path / "runs"),
+        str(tmp_path / "models"),
+        attempt=1,
+    )
+    assert manifest["status"] == "failed"
+    assert manifest["error"]["type"] == "WorkerCrashError"
+    tail = manifest["error"]["trace_tail"]
+    assert tail and all(record["worker"] == 0 for record in tail)

@@ -1,0 +1,111 @@
+"""CLI surface of the tracing subsystem (in-process, via main()).
+
+One traced 2-worker pdes-hybrid run submitted through ``repro runs
+submit`` feeds every command under test: ``repro trace show / export /
+top`` read the merged ``trace.jsonl`` the executor wrote next to the
+manifest, and ``repro obs show`` renders the per-worker shard table
+(satellite 1).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import CHROME_REQUIRED_KEYS
+
+SPEC = {
+    "name": "cli-trace",
+    "stage": "pdes-hybrid",
+    "experiment": {"clusters": 3, "load": 0.25, "duration_s": 0.0015, "seed": 9},
+    "hybrid": {"workers": 2, "trace": True, "elide_remote_traffic": False},
+    "training": {"clusters": 2, "load": 0.25, "duration_s": 0.004, "seed": 7},
+    "micro": {
+        "hidden_size": 8, "num_layers": 1, "window": 8,
+        "train_batches": 4, "learning_rate": 3e-3,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced sharded run; returns its run directory."""
+    root = tmp_path_factory.mktemp("cli-trace")
+    spec_path = root / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    out = root / "out"
+    code = main([
+        "runs", "submit", "--spec", str(spec_path), "--out", str(out),
+        "--workers", "0", "--retries", "0",
+    ])
+    assert code == 0
+    run_dir = out / "cli-trace-0000"
+    assert (run_dir / "trace.jsonl").exists()
+    return run_dir
+
+
+class TestTraceShow:
+    def test_show_by_flow_id(self, traced_run, capsys):
+        assert main(["trace", "show", str(traced_run), "0"]) == 0
+        out = capsys.readouterr().out
+        assert "records ==" in out
+        assert "flow.admit" in out
+
+    def test_show_accepts_manifest_or_jsonl_path(self, traced_run, capsys):
+        assert main([
+            "trace", "show", str(traced_run / "manifest.json"), "0",
+        ]) == 0
+        assert main([
+            "trace", "show", str(traced_run / "trace.jsonl"), "0",
+        ]) == 0
+
+    def test_show_unknown_flow_exits_1(self, traced_run, capsys):
+        assert main(["trace", "show", str(traced_run), "99999"]) == 1
+        assert "no trace records" in capsys.readouterr().out
+
+    def test_show_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "show", str(tmp_path), "0"]) == 2
+
+
+class TestTraceExport:
+    def test_chrome_export_is_loadable(self, traced_run, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main([
+            "trace", "export", str(traced_run),
+            "--format", "chrome", "--out", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            for key in CHROME_REQUIRED_KEYS:
+                assert key in event
+        # Both workers appear as Chrome process tracks.
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+
+    def test_export_to_stdout(self, traced_run, capsys):
+        assert main(["trace", "export", str(traced_run)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+
+
+class TestTraceTop:
+    def test_top_by_duration(self, traced_run, capsys):
+        assert main(["trace", "top", str(traced_run), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "duration" in out
+
+    def test_top_by_count(self, traced_run, capsys):
+        assert main(["trace", "top", str(traced_run), "--by", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "exchange.send" in out
+
+
+class TestObsShowShards:
+    def test_per_worker_table_rendered(self, traced_run, capsys):
+        assert main(["obs", "show", str(traced_run)]) == 0
+        out = capsys.readouterr().out
+        assert "pdes shards" in out
+        assert "2 workers" in out
+        assert "trace:" in out
