@@ -1,0 +1,220 @@
+"""AI-factory scenario scaling: the collective pack under all three engines.
+
+ISSUE 10's scenario pack (ring AllReduce + background mice, flowlet
+routing, a deterministic link-failure/recovery pair) must run end to
+end under full DES, the hybrid, and the cascade — and this benchmark
+prices it: for each fabric size it runs the identical seeded scenario
+under
+
+* ``des`` — :func:`run_full_simulation`, every packet simulated;
+* ``hybrid`` — :func:`run_hybrid_simulation` with remote-traffic
+  elision off (collective ranks live in the focal cluster, but the
+  mice still exercise the model path);
+* ``cascade`` — :func:`run_cascade_simulation` with the default
+  flowsim-first tier map.
+
+Each cell records wall-clock, events/second, and the collective's own
+health: rounds completed vs. requested and collective flows launched.
+A scenario cell that fails to finish its AllReduce rounds is priced as
+broken regardless of speedup, so the bench asserts completion in every
+mode.
+
+Results land next to the other trajectory series:
+
+* ``benchmarks/results/collective_scale.txt`` — bench table;
+* ``BENCH_scale.json`` top-level ``collective`` key — machine-readable,
+  merged without clobbering the ``cascade_scale``/``pdes_hybrid`` series.
+
+``REPRO_COLLECTIVE_CLUSTERS`` (comma-separated) shrinks the sweep for
+CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.cascade import CascadeConfig, TierBudget, run_cascade_simulation
+from repro.core.hybrid import HybridConfig
+from repro.core.pipeline import (
+    ExperimentConfig,
+    run_full_simulation,
+    run_hybrid_simulation,
+)
+from repro.topology.clos import ClosParams
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_scale.json"
+
+#: Fabric sizes swept; override for CI smoke (e.g. "2").
+CLUSTERS = tuple(
+    int(c) for c in os.environ.get("REPRO_COLLECTIVE_CLUSTERS", "2,4").split(",")
+)
+DURATION_S = 0.008
+LOAD = 0.15
+SEED = 11
+
+#: The scenario: an 8-rank ring AllReduce with per-round compute
+#: barriers, flowlet routing, and a core-link failure/recovery pair
+#: mid-run — the collective_smoke spec's shape at bench durations.
+COLLECTIVE = {
+    "algorithm": "ring",
+    "ranks": 8,
+    "chunk_bytes": 20_000,
+    "rounds": 2,
+    "compute_s": 3e-4,
+}
+ROUTING = {"policy": "flowlet", "flowlet_gap_s": 5e-5}
+FAILURES = [(0.003, "core-0", "agg-c0-0"), (0.006, "core-0", "agg-c0-0", "up")]
+
+
+def _config(clusters: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        clos=ClosParams(clusters=clusters),
+        load=LOAD,
+        duration_s=DURATION_S,
+        seed=SEED,
+        routing=ROUTING,
+        failures=FAILURES,
+        collective=COLLECTIVE,
+    )
+
+
+def _collective_cell(result) -> dict:
+    summary = result.collective or {}
+    return {
+        "rounds_completed": summary.get("rounds_completed", 0),
+        "rounds_requested": summary.get("rounds_requested", 0),
+        "collective_flows": summary.get("flows_launched", 0),
+        "failure_events": len(result.failure_events),
+    }
+
+
+def _run_one_size(clusters: int, trained) -> dict:
+    config = _config(clusters)
+
+    start = time.perf_counter()
+    full = run_full_simulation(config)
+    des_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hybrid_result, _ = run_hybrid_simulation(
+        config, trained, hybrid=HybridConfig(elide_remote_traffic=False)
+    )
+    hybrid_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cascade_result, _ = run_cascade_simulation(
+        config,
+        trained,
+        cascade=CascadeConfig(
+            epoch_s=DURATION_S / 8,
+            window_epochs=3,
+            min_window_samples=4,
+            budget=TierBudget(ks=0.35),
+        ),
+    )
+    cascade_s = time.perf_counter() - start
+
+    return {
+        "clusters": clusters,
+        "duration_s": DURATION_S,
+        "modes": {
+            "des": {
+                "wallclock_s": des_s,
+                "events": full.result.events_executed,
+                "events_per_sec": full.result.events_executed / des_s,
+                "flows_completed": full.result.flows_completed,
+                **_collective_cell(full.result),
+            },
+            "hybrid": {
+                "wallclock_s": hybrid_s,
+                "events": hybrid_result.events_executed,
+                "events_per_sec": hybrid_result.events_executed / hybrid_s,
+                "flows_completed": hybrid_result.flows_completed,
+                **_collective_cell(hybrid_result),
+            },
+            "cascade": {
+                "wallclock_s": cascade_s,
+                "events": cascade_result.total_events,
+                "events_per_sec": cascade_result.total_events / cascade_s,
+                "flows_completed": cascade_result.total_flows_completed,
+                "flows_diverted": cascade_result.summary["flows_diverted"],
+                **_collective_cell(cascade_result.result),
+            },
+        },
+        "speedup_vs_des_hybrid": des_s / hybrid_s,
+        "speedup_vs_des_cascade": des_s / cascade_s,
+    }
+
+
+def test_collective_scale(trained_bundle):
+    trained, _ = trained_bundle
+    rows = [_run_one_size(clusters, trained) for clusters in CLUSTERS]
+
+    payload = {
+        "collective": {
+            "load": LOAD,
+            "seed": SEED,
+            "duration_s": DURATION_S,
+            "scenario": {
+                "collective": COLLECTIVE,
+                "routing": ROUTING,
+                "failures": [list(event) for event in FAILURES],
+            },
+            "modes": ["des", "hybrid", "cascade"],
+            "rows": rows,
+        }
+    }
+    # Merge, don't clobber: bench_cascade_scale and bench_pdes_hybrid
+    # own their own top-level series in the same trajectory file.
+    merged: dict = {}
+    if JSON_PATH.exists():
+        merged = json.loads(JSON_PATH.read_text())
+    merged.update(payload)
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+    table_rows = []
+    for row in rows:
+        modes = row["modes"]
+        table_rows.append(
+            [
+                row["clusters"],
+                f"{modes['des']['wallclock_s']:.2f}",
+                f"{modes['hybrid']['wallclock_s']:.2f}",
+                f"{modes['cascade']['wallclock_s']:.2f}",
+                f"{row['speedup_vs_des_hybrid']:.1f}x",
+                f"{row['speedup_vs_des_cascade']:.1f}x",
+                f"{modes['des']['rounds_completed']}"
+                f"/{modes['des']['rounds_requested']}",
+                modes["cascade"]["flows_diverted"],
+            ]
+        )
+    write_result(
+        "collective_scale",
+        format_table(
+            [
+                "clusters", "des s", "hybrid s", "cascade s",
+                "hybrid vs des", "cascade vs des", "rounds", "diverted",
+            ],
+            table_rows,
+        )
+        + f"\n(load {LOAD}, seed {SEED}; 8-rank ring AllReduce + mice,"
+        " flowlet routing, one core-link failure/recovery mid-run)",
+    )
+
+    for row in rows:
+        for mode, cell in row["modes"].items():
+            # The scenario must actually finish its AllReduce and see
+            # the failure schedule applied in every engine.
+            assert cell["rounds_completed"] == cell["rounds_requested"], (
+                row["clusters"], mode, cell,
+            )
+            assert cell["collective_flows"] > 0, (row["clusters"], mode)
+            assert cell["failure_events"] == len(FAILURES), (
+                row["clusters"], mode, cell,
+            )

@@ -102,7 +102,11 @@ class FlowsimToHybridAdapter(TierAdapter):
             # At least one byte: a fluid flow at the knife edge of
             # completion still needs a real packet exchange to finish.
             size = max(int(math.ceil(remaining_bytes)), 1)
-            ctx.launch_carried_flow(spec.src, spec.dst, size)
+            # Reuse the port reserved at diversion time so the packet
+            # flow hashes onto the path the fluid tier charged.
+            ctx.launch_carried_flow(
+                spec.src, spec.dst, size, src_port=spec.src_port or None
+            )
         return Handoff(
             region=region,
             from_tier=self.from_tier,

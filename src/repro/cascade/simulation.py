@@ -128,6 +128,8 @@ class CascadeSimulation:
         metrics=None,
         invariants=None,
         tracer=None,
+        routing_config=None,
+        failures=(),
     ) -> None:
         self.sim = sim
         self.config = config or CascadeConfig()
@@ -145,6 +147,8 @@ class CascadeSimulation:
             metrics=metrics,
             invariants=invariants,
             tracer=tracer,
+            routing_config=routing_config,
+            failures=failures,
         )
         self.topology = topology
         self.focal_cluster = self.config.focal_cluster
@@ -242,12 +246,20 @@ class CascadeSimulation:
             self.tier_of(src_cluster) is Tier.FLOWSIM
             and self.tier_of(dst_cluster) is Tier.FLOWSIM
         ):
+            # Reserve the source port the packet tier *would* have
+            # allocated, so the fluid path charger hashes onto the same
+            # ECMP path and a later promotion handoff relaunches the
+            # flow on exactly the links already charged.  This also
+            # keeps per-host port sequences identical whether a flow is
+            # diverted or launched.
+            src_port = self.hybrid.network.host(src).allocate_port()
             spec = FlowSpec(
                 flow_id=self._next_fluid_flow_id,
                 src=src,
                 dst=dst,
                 size_bytes=size_bytes,
                 start_time=self.sim.now,
+                src_port=src_port,
             )
             self._next_fluid_flow_id += 1
             if self._tracer is not None:
@@ -322,9 +334,11 @@ class CascadeSimulation:
     def cluster_of(self, server: str) -> int:
         return self._cluster_of[server]
 
-    def launch_carried_flow(self, src: str, dst: str, size_bytes: int) -> FlowRecord:
+    def launch_carried_flow(
+        self, src: str, dst: str, size_bytes: int, src_port: Optional[int] = None
+    ) -> FlowRecord:
         assert self.generator is not None, "attach_generator first"
-        record = self.generator.launch_flow(src, dst, size_bytes)
+        record = self.generator.launch_flow(src, dst, size_bytes, src_port=src_port)
         self._carried_record_ids.add(id(record))
         for cluster in {self._cluster_of[src], self._cluster_of[dst]} - {
             self.focal_cluster
@@ -469,6 +483,12 @@ class CascadeSimulation:
             "flows_diverted": (
                 self.generator.flows_diverted if self.generator else 0
             ),
+            "failures": self.hybrid.failure_injector.summary(),
+            "collective": (
+                self.generator.collective.summary()
+                if self.generator is not None and self.generator.collective
+                else None
+            ),
         }
 
 
@@ -513,6 +533,7 @@ def run_cascade_simulation(
     metrics=None,
     probe_period_s: Optional[float] = None,
     tracer=None,
+    invariants=None,
 ) -> tuple[CascadeResult, CascadeSimulation]:
     """Run one scenario under per-region fidelity assignments.
 
@@ -530,6 +551,8 @@ def run_cascade_simulation(
     sim = Simulator(seed=config.seed)
     if tracer is not None:
         tracer.bind_clock(lambda: sim.now)
+    if invariants is not None:
+        invariants.attach_simulator(sim)
     cascade_sim = CascadeSimulation(
         sim,
         topology,
@@ -538,6 +561,9 @@ def run_cascade_simulation(
         config=cascade,
         metrics=metrics,
         tracer=tracer,
+        invariants=invariants,
+        routing_config=config.routing,
+        failures=config.failures,
     )
     generator = make_generator(
         sim, cascade_sim.hybrid.network, config, tracer=tracer
@@ -566,6 +592,10 @@ def run_cascade_simulation(
         model_packets=hybrid_sim.model_packets_handled(),
         model_drops=hybrid_sim.model_drops(),
         model_inference_seconds=hybrid_sim.inference_seconds(),
+        failure_events=hybrid_sim.failure_injector.summary(),
+        collective=(
+            generator.collective.summary() if generator.collective else None
+        ),
     )
     return (
         CascadeResult(

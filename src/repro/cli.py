@@ -54,14 +54,115 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="master seed")
 
 
-def _experiment_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(
-        clos=ClosParams(clusters=args.clusters),
-        load=args.load,
-        duration_s=args.duration,
-        seed=args.seed,
-        matrix=getattr(args, "matrix", "uniform"),
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """AI-factory scenario knobs: routing policy, link failures, and
+    collective (AllReduce) workloads — shared by the packet-carrying
+    stages (simulate/hybrid/cascade/validate)."""
+    parser.add_argument(
+        "--routing", choices=("ecmp", "flowlet", "adaptive"), default="ecmp",
+        help="switch routing policy (flowlet: gap-based re-hashing; "
+        "adaptive: least-loaded egress among shortest paths)",
     )
+    parser.add_argument(
+        "--flowlet-gap-s", type=float, default=50e-6, metavar="SECONDS",
+        help="idle gap that opens a new flowlet (with --routing flowlet)",
+    )
+    parser.add_argument(
+        "--fail-link", action="append", default=None, metavar="TIME:A:B[:ACTION]",
+        help="deterministic link event at simulated TIME seconds between "
+        "nodes A and B; ACTION is down (default) or up (repeatable, e.g. "
+        "--fail-link 0.004:core-0:agg-c0-0 --fail-link 0.007:core-0:agg-c0-0:up)",
+    )
+    parser.add_argument(
+        "--collective", choices=("ring", "tree"), default=None, metavar="ALGO",
+        help="drive an AllReduce collective (ring or tree) over all "
+        "servers instead of only background traffic",
+    )
+    parser.add_argument(
+        "--collective-ranks", type=int, default=None, metavar="N",
+        help="participating ranks (default: every server)",
+    )
+    parser.add_argument(
+        "--collective-dp-groups", type=int, default=1, metavar="N",
+        help="independent data-parallel replica groups",
+    )
+    parser.add_argument(
+        "--chunk-bytes", type=int, default=262_144, metavar="BYTES",
+        help="AllReduce chunk size per step",
+    )
+    parser.add_argument(
+        "--collective-rounds", type=int, default=1, metavar="N",
+        help="training iterations to run (each: TP/PP phases, AllReduce, compute)",
+    )
+    parser.add_argument(
+        "--collective-compute-s", type=float, default=0.0, metavar="SECONDS",
+        help="compute phase between iterations (the communicate/compute barrier)",
+    )
+    parser.add_argument(
+        "--collective-jitter", type=float, default=0.0, metavar="FRACTION",
+        help="uniform jitter fraction on the compute phase (seeded)",
+    )
+    parser.add_argument(
+        "--tp-bytes", type=int, default=0, metavar="BYTES",
+        help="tensor-parallel pairwise exchange before each AllReduce",
+    )
+    parser.add_argument(
+        "--pp-bytes", type=int, default=0, metavar="BYTES",
+        help="pipeline-parallel stage-to-stage transfer before each AllReduce",
+    )
+
+
+def _parse_fail_links(specs: Optional[Sequence[str]]) -> list[tuple]:
+    """Parse repeated ``--fail-link TIME:A:B[:ACTION]`` arguments."""
+    events = []
+    for text in specs or ():
+        parts = text.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"--fail-link expects TIME:A:B[:ACTION], got {text!r}"
+            )
+        try:
+            time_s = float(parts[0])
+        except ValueError:
+            raise ValueError(
+                f"--fail-link time must be a number, got {parts[0]!r}"
+            ) from None
+        events.append(tuple([time_s, *parts[1:]]))
+    return events
+
+
+def _experiment_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    collective = None
+    if getattr(args, "collective", None) is not None:
+        collective = {
+            "algorithm": args.collective,
+            "ranks": args.collective_ranks,
+            "dp_groups": args.collective_dp_groups,
+            "chunk_bytes": args.chunk_bytes,
+            "rounds": args.collective_rounds,
+            "compute_s": args.collective_compute_s,
+            "compute_jitter": args.collective_jitter,
+            "tp_bytes": args.tp_bytes,
+            "pp_bytes": args.pp_bytes,
+        }
+    try:
+        return ExperimentConfig(
+            clos=ClosParams(clusters=args.clusters),
+            load=args.load,
+            duration_s=args.duration,
+            seed=args.seed,
+            matrix=getattr(args, "matrix", "uniform"),
+            routing={
+                "policy": getattr(args, "routing", "ecmp"),
+                "flowlet_gap_s": getattr(args, "flowlet_gap_s", 50e-6),
+            },
+            failures=_parse_fail_links(getattr(args, "fail_link", None)),
+            collective=collective,
+        )
+    except ValueError as error:
+        # Scenario knobs validate at construction; fail like argparse does.
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
@@ -173,8 +274,21 @@ def _print_run(result: RunResult, title: str) -> None:
         rows.append(["inference wall-clock (s)", result.model_inference_seconds])
         rows.append(["inference share", result.inference_share])
         rows.append(["model packets/sec", result.model_packets_per_sec])
+    if result.collective is not None:
+        rows.append([
+            "collective rounds",
+            f"{result.collective['rounds_completed']}"
+            f"/{result.collective['rounds_requested']}",
+        ])
+        rows.append(["collective flows", result.collective["flows_launched"]])
     print(f"== {title} ==")
     print(format_table(["metric", "value"], rows))
+    for event in result.failure_events:
+        a, b = event["link"]
+        print(
+            f"link {event['action']} {a}-{b} at {event['time'] * 1e3:.3f} ms"
+            f" ({'applied' if event['changed'] else 'no-op'})"
+        )
     for name, sample in (("RTT (us)", result.rtt_samples), ("FCT (ms)", result.fcts)):
         if not sample:
             continue
@@ -1137,6 +1251,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--trace-csv", default=None, help="write a raw packet/event trace CSV here"
     )
+    _add_scenario_arguments(simulate)
     _add_metrics_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -1165,6 +1280,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--single-black-box", action="store_true",
         help="replace everything outside the full cluster with one model (Section 7)",
     )
+    _add_scenario_arguments(hybrid)
     _add_batching_arguments(hybrid)
     _add_metrics_argument(hybrid)
     _add_trace_arguments(hybrid)
@@ -1269,6 +1385,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--decision-log", default=None, metavar="PATH",
         help="write the controller's auditable decision log (JSON) here",
     )
+    _add_scenario_arguments(cascade)
     _add_batching_arguments(cascade)
     _add_metrics_argument(cascade)
     _add_trace_arguments(cascade)
@@ -1320,6 +1437,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", default=None, metavar="PATH",
         help="write the full fidelity report as JSON here",
     )
+    _add_scenario_arguments(validate)
     _add_batching_arguments(validate)
     _add_metrics_argument(validate)
     validate.set_defaults(handler=_cmd_validate)
@@ -1479,7 +1597,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        # The package raises ValueError for invalid user input (bad
+        # scenario specs, nonexistent failure links, oversized PDES
+        # windows, ...); render it as a CLI error, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

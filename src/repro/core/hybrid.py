@@ -35,7 +35,8 @@ BLACK_BOX_KEY = -1
 from repro.des.kernel import Simulator
 from repro.net.network import Network, NetworkConfig
 from repro.topology.graph import NodeRole, Topology
-from repro.topology.routing import EcmpRouting
+from repro.net.failures import FailureInjector
+from repro.topology.routing import EcmpRouting, make_routing
 
 
 class ShardableHybrid:
@@ -221,6 +222,8 @@ class HybridSimulation:
         invariants=None,
         shard: Optional[ShardableHybrid] = None,
         tracer=None,
+        routing_config=None,
+        failures=(),
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -250,7 +253,7 @@ class HybridSimulation:
         self.full_cluster = self.config.full_cluster
         self.approx_clusters = [c for c in cluster_ids if c != self.full_cluster]
 
-        routing = EcmpRouting(topology)
+        routing = make_routing(topology, routing_config)
         self.models: dict[int, ApproximatedCluster] = {}
         overrides: dict[str, ApproximatedCluster] = {}
         excluded: set[str] = set()
@@ -356,6 +359,13 @@ class HybridSimulation:
             excluded_nodes=excluded,
             receiver_overrides=overrides,
         )
+        #: Deterministic link failure/recovery schedule (no-op when the
+        #: experiment declares none).  Table rebuilds cover the whole
+        #: routing object, so model path features and the fluid tier
+        #: see failures too.
+        self.failure_injector = FailureInjector(sim, routing, failures, tracer=tracer)
+        if invariants is not None:
+            invariants.watch_network(self.network)
         self._cluster_of = {
             node.name: node.cluster for node in topology.servers()
         }

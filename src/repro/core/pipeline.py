@@ -19,6 +19,7 @@ and drop totals.
 
 from __future__ import annotations
 
+import json
 import time as _wallclock
 from dataclasses import dataclass, field
 from typing import Optional
@@ -34,10 +35,12 @@ from repro.core.training import (
     train_cluster_model,
 )
 from repro.des.kernel import Simulator
+from repro.net.failures import FailureInjector, LinkFailure, normalize_failures
 from repro.net.network import Network, NetworkConfig
 from repro.topology.clos import ClosParams, build_clos
-from repro.topology.routing import EcmpRouting
+from repro.topology.routing import EcmpRouting, RoutingConfig, make_routing
 from repro.traffic.apps import TrafficGenerator
+from repro.traffic.collectives import CollectiveConfig, CollectiveWorkload
 from repro.traffic.arrivals import PoissonArrivals, arrival_rate_for_load
 from repro.traffic.distributions import EmpiricalSizeDistribution, web_search_sizes
 from repro.traffic.matrix import IncastMatrix, PermutationMatrix, TrafficMatrix, UniformMatrix
@@ -66,6 +69,15 @@ class ExperimentConfig:
         Endpoint-selection policy: "uniform" (the evaluation default),
         "permutation", or "incast" — the generality ablation (A6)
         trains under one and evaluates under another.
+    routing:
+        Forwarding policy (ECMP / flowlet / adaptive) and its knobs;
+        consumed by every stage's network *and* the fluid path charger.
+    failures:
+        Deterministic link-failure/recovery events, applied by a
+        :class:`~repro.net.failures.FailureInjector` in every stage.
+    collective:
+        Optional AI-training collective workload running alongside the
+        Poisson mice traffic (see :mod:`repro.traffic.collectives`).
     """
 
     clos: ClosParams = field(default_factory=ClosParams)
@@ -75,8 +87,20 @@ class ExperimentConfig:
     net: NetworkConfig = field(default_factory=NetworkConfig)
     intra_cluster_fraction: Optional[float] = None
     matrix: str = "uniform"
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+    failures: tuple[LinkFailure, ...] = ()
+    collective: Optional[CollectiveConfig] = None
 
     def __post_init__(self) -> None:
+        # Spec files hand these over as plain dicts/lists; normalize so
+        # every consumer sees the frozen dataclasses and the run
+        # fingerprint stays canonical.
+        object.__setattr__(self, "routing", RoutingConfig.from_dict(self.routing))
+        object.__setattr__(self, "failures", normalize_failures(self.failures))
+        if self.collective is not None:
+            object.__setattr__(
+                self, "collective", CollectiveConfig.from_dict(self.collective)
+            )
         if self.matrix not in ("uniform", "permutation", "incast"):
             raise ValueError(
                 f"matrix must be uniform|permutation|incast, got {self.matrix!r}"
@@ -111,6 +135,10 @@ class RunResult:
     model_packets: int = 0
     model_drops: int = 0
     model_inference_seconds: float = 0.0
+    #: Applied link failure/recovery events (manifest-ready dicts).
+    failure_events: list[dict] = field(default_factory=list)
+    #: Collective workload accounting when one ran (else None).
+    collective: Optional[dict] = None
 
     @property
     def sim_seconds_per_second(self) -> float:
@@ -145,6 +173,30 @@ class RunResult:
             return 0.0
         return self.model_packets / self.wallclock_seconds
 
+    def determinism_signature(self) -> str:
+        """Byte-comparable canonical form of everything seeded.
+
+        Wall-clock fields are excluded, and so is ``events_executed``
+        (metrics probes schedule extra kernel events without touching
+        outcomes); same-seed runs of the same scenario (including
+        link-failure schedules and collective workloads) must produce
+        identical signatures whether or not metrics or tracing were
+        enabled.
+        """
+        payload = {
+            "flows_started": self.flows_started,
+            "flows_completed": self.flows_completed,
+            "flows_elided": self.flows_elided,
+            "drops": self.drops,
+            "rtts": self.rtt_samples,
+            "fcts": self.fcts,
+            "model_packets": self.model_packets,
+            "model_drops": self.model_drops,
+            "failure_events": self.failure_events,
+            "collective": self.collective,
+        }
+        return json.dumps(payload, sort_keys=True)
+
 
 @dataclass
 class FullRunOutput:
@@ -177,7 +229,7 @@ def make_generator(
         sizes.mean(),
     )
     matrix = _make_matrix(sim, network, config)
-    return TrafficGenerator(
+    generator = TrafficGenerator(
         sim,
         network,
         matrix=matrix,
@@ -187,6 +239,14 @@ def make_generator(
         flow_dispatch=flow_dispatch,
         tracer=tracer,
     )
+    # The collective workload self-starts at sim time 0 and launches
+    # its gated chunk flows through the generator (packet path in
+    # every tier); the Poisson arrivals are the background mice.
+    if config.collective is not None:
+        generator.collective = CollectiveWorkload(sim, generator, config.collective)
+    else:
+        generator.collective = None
+    return generator
 
 
 def _make_matrix(
@@ -233,7 +293,9 @@ def run_full_simulation(
     sim = Simulator(seed=config.seed)
     if metrics is not None:
         sim.metrics = metrics
-    network = Network(sim, topology, config=config.net)
+    routing = make_routing(topology, config.routing)
+    network = Network(sim, topology, config=config.net, routing=routing)
+    injector = FailureInjector(sim, routing, config.failures)
     collector = None
     extractor = None
     if collect_cluster is not None:
@@ -259,6 +321,10 @@ def run_full_simulation(
         drops=network.total_drops,
         rtt_samples=network.rtt_monitor(observe_cluster).values.tolist(),
         fcts=generator.completed_fcts(),
+        failure_events=injector.summary(),
+        collective=(
+            generator.collective.summary() if generator.collective else None
+        ),
     )
     return FullRunOutput(result=result, records=records, extractor=extractor)
 
@@ -326,6 +392,8 @@ def run_hybrid_simulation(
         config=hybrid,
         metrics=metrics,
         tracer=tracer,
+        routing_config=config.routing,
+        failures=config.failures,
     )
     generator = make_generator(
         sim,
@@ -358,5 +426,9 @@ def run_hybrid_simulation(
         model_packets=hybrid_sim.model_packets_handled(),
         model_drops=hybrid_sim.model_drops(),
         model_inference_seconds=hybrid_sim.inference_seconds(),
+        failure_events=hybrid_sim.failure_injector.summary(),
+        collective=(
+            generator.collective.summary() if generator.collective else None
+        ),
     )
     return result, hybrid_sim

@@ -98,11 +98,19 @@ class EpochFlowSimulator:
         return [flow.spec for flow in self._active.values()]
 
     def _flow_links(self, spec: FlowSpec) -> list[tuple[str, str]]:
-        """Directed links on the flow's ECMP path (same hash basis as
-        :class:`FlowLevelSimulator`, so the engines are comparable
-        per flow)."""
+        """Directed links on the flow's policy-chosen path.
+
+        The hash basis is the packet tier's ``Packet.flow_hash()``:
+        (src, dst, src_port, dst_port).  Specs that carry their real
+        port pair (tier handoffs do) therefore charge exactly the links
+        the packet flow will traverse after a flowsim→hybrid handoff.
+        Legacy specs without ports fall back to a synthetic
+        ``10_000 + flow_id`` source port — deterministic, but only
+        coincidentally aligned with :meth:`Host.allocate_port`.
+        """
+        src_port = spec.src_port if spec.src_port else 10_000 + spec.flow_id
         flow_hash = ecmp_hash(
-            name_key(spec.src), name_key(spec.dst), 10_000 + spec.flow_id, 80
+            name_key(spec.src), name_key(spec.dst), src_port, spec.dst_port
         )
         path = self.routing.path(spec.src, spec.dst, flow_hash)
         return list(zip(path[:-1], path[1:]))

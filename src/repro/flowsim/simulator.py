@@ -24,13 +24,22 @@ from repro.topology.routing import EcmpRouting
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """One flow to simulate: endpoints, size, and arrival time."""
+    """One flow to simulate: endpoints, size, arrival time, and ports.
+
+    ``src_port``/``dst_port`` carry the flow's real transport ports so
+    the fluid tier hashes onto the *same* path the packet tier would
+    take after a handoff.  ``src_port=0`` (legacy specs) falls back to
+    the synthetic ``10_000 + flow_id`` port, which only matches the
+    per-host counter by accident — tier handoffs must populate it.
+    """
 
     flow_id: int
     src: str
     dst: str
     size_bytes: int
     start_time: float
+    src_port: int = 0
+    dst_port: int = 80
 
 
 @dataclass

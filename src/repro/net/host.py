@@ -69,12 +69,18 @@ class Host(Entity):
         total_bytes: int,
         on_complete: Optional[Callable[[float], None]] = None,
         dst_port: int = 80,
+        src_port: Optional[int] = None,
     ) -> TcpSender:
         """Create sender (here) and receiver (at ``dst_host``) for a flow.
 
         Returns the sender; call :meth:`TcpSender.start` to begin.
+        ``src_port`` pins an already-reserved ephemeral port (tier
+        handoffs allocate it at diversion time so the fluid and packet
+        tiers hash the flow identically); by default a fresh one is
+        drawn from the per-host counter.
         """
-        src_port = self.allocate_port()
+        if src_port is None:
+            src_port = self.allocate_port()
         sender = TcpSender(
             host=self,
             dst=dst_host.name,

@@ -16,17 +16,66 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.des.entities import Entity
+from repro.des.errors import SimulationError
 from repro.des.kernel import Simulator
 from repro.net.packet import Packet
 from repro.net.port import Port
-from repro.topology.routing import EcmpRouting
+from repro.topology.routing import EcmpRouting, NoRouteError
+
+
+class UnroutablePacketError(SimulationError, RuntimeError):
+    """A switch could not forward a packet toward its destination.
+
+    Reachable mid-run once link failures are injected (a partition can
+    strand in-flight packets), so it carries structured context —
+    ``(switch, dst, policy)`` plus the sim time and failed links — that
+    the invariant checker and failed run manifests surface instead of a
+    bare stack trace.
+    """
+
+    def __init__(
+        self,
+        switch: str,
+        packet: Packet,
+        policy: str,
+        time: float,
+        reason: str,
+        failed_links: Optional[list[tuple[str, str]]] = None,
+    ) -> None:
+        super().__init__(
+            f"{switch}: cannot route packet {packet.src!r}->{packet.dst!r} "
+            f"under policy {policy!r} at t={time:.6f}: {reason}"
+        )
+        self.switch = switch
+        self.src = packet.src
+        self.dst = packet.dst
+        self.policy = policy
+        self.time = time
+        self.reason = reason
+        self.failed_links = list(failed_links or [])
+
+    def details(self) -> dict:
+        """Manifest-ready structured context."""
+        return {
+            "switch": self.switch,
+            "src": self.src,
+            "dst": self.dst,
+            "policy": self.policy,
+            "time": self.time,
+            "reason": self.reason,
+            "failed_links": [list(pair) for pair in self.failed_links],
+        }
 
 
 class Switch(Entity):
-    """An output-queued switch with ECMP forwarding.
+    """An output-queued switch forwarding via a routing policy.
 
     Ports are attached after construction via :meth:`attach_port` (the
-    network assembler wires both directions of every link).
+    network assembler wires both directions of every link).  Forwarding
+    consults :meth:`EcmpRouting.select_next_hop` — the ``RoutingPolicy``
+    seam — passing the current sim time (flowlet gap detection) and a
+    per-neighbor queued-bytes probe (adaptive load balancing); plain
+    ECMP ignores both.
     """
 
     def __init__(
@@ -44,6 +93,12 @@ class Switch(Entity):
         #: Optional hook called as ``on_forward(switch, packet,
         #: next_hop)`` before enqueueing — trace capture uses it.
         self.on_forward = on_forward
+        #: Optional hook called as ``on_unroutable(error, packet)``
+        #: before the structured error propagates — the invariant
+        #: checker records a routability violation through it.
+        self.on_unroutable: Optional[
+            Callable[[UnroutablePacketError, Packet], None]
+        ] = None
 
     def attach_port(self, neighbor: str, port: Port) -> None:
         """Register the output port toward ``neighbor``."""
@@ -51,15 +106,42 @@ class Switch(Entity):
             raise ValueError(f"{self.name}: duplicate port toward {neighbor!r}")
         self.ports[neighbor] = port
 
+    def _port_load(self, neighbor: str) -> int:
+        """Queued bytes toward ``neighbor`` — adaptive routing's signal."""
+        port = self.ports.get(neighbor)
+        return port.queued_bytes if port is not None else 0
+
+    def _unroutable(self, packet: Packet, reason: str) -> UnroutablePacketError:
+        error = UnroutablePacketError(
+            switch=self.name,
+            packet=packet,
+            policy=self.routing.policy,
+            time=self.now,
+            reason=reason,
+            failed_links=self.routing.failed_links,
+        )
+        if self.on_unroutable is not None:
+            self.on_unroutable(error, packet)
+        return error
+
     def receive(self, packet: Packet, from_node: str) -> None:
         """Forward a packet toward its destination."""
         self.packets_received += 1
-        next_hop = self.routing.next_hop(self.name, packet.dst, packet.flow_hash())
+        try:
+            next_hop = self.routing.select_next_hop(
+                self.name,
+                packet.dst,
+                packet.flow_hash(),
+                now=self.now,
+                port_load=self._port_load,
+            )
+        except NoRouteError as exc:
+            raise self._unroutable(packet, str(exc)) from None
         try:
             port = self.ports[next_hop]
         except KeyError:
-            raise RuntimeError(
-                f"{self.name}: routing chose {next_hop!r} but no port is attached"
+            raise self._unroutable(
+                packet, f"routing chose {next_hop!r} but no port is attached"
             ) from None
         if self.on_forward is not None:
             self.on_forward(self, packet, next_hop)

@@ -43,6 +43,7 @@ identical to the single-process hybrid under float64 inference.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 import multiprocessing as mp
@@ -243,6 +244,11 @@ def extract_flow_schedule(
         records.append((src, dst, size_bytes, sim.now))
         return True
 
+    if config.collective is not None:
+        # Collective chunk launches are gated on flow completions the
+        # shim cannot produce; sharded runs reject collectives up front
+        # (see run_hybrid_sharded) and extraction ignores them.
+        config = dataclasses.replace(config, collective=None)
     generator = make_generator(
         sim,
         _TopologyShim(topology),
@@ -651,6 +657,8 @@ def _run_shard(
     model_ref: ModelRef,
     net_config: NetworkConfig,
     hybrid_config: HybridConfig,
+    routing_config,
+    failures,
     duration_s: float,
     window_s: float,
     seed: int,
@@ -692,6 +700,9 @@ def _run_shard(
         remote_entity=remote_entity,
     )
     trained = model_ref.load()
+    # Every worker applies the same failure schedule at the same sim
+    # times against its own copy of the routing tables, so the shards
+    # stay route-consistent without any cross-worker coordination.
     hybrid_sim = HybridSimulation(
         sim,
         topology,
@@ -702,6 +713,8 @@ def _run_shard(
         invariants=invariants,
         shard=shard_seam,
         tracer=tracer,
+        routing_config=routing_config,
+        failures=failures,
     )
     network = hybrid_sim.network
 
@@ -919,6 +932,8 @@ def _shard_worker_main(
     model_ref: ModelRef,
     net_config: NetworkConfig,
     hybrid_config: HybridConfig,
+    routing_config,
+    failures,
     duration_s: float,
     window_s: float,
     seed: int,
@@ -951,6 +966,8 @@ def _shard_worker_main(
             model_ref,
             net_config,
             hybrid_config,
+            routing_config,
+            failures,
             duration_s,
             window_s,
             seed,
@@ -1098,6 +1115,12 @@ def run_hybrid_sharded(
             "single_black_box mode cannot be sharded: the one "
             "rest-of-network model has nowhere to split"
         )
+    if config.collective is not None:
+        raise ValueError(
+            "collective workloads cannot be sharded: gated chunk sends "
+            "depend on cross-worker flow completions; run them under the "
+            "hybrid or cascade engines"
+        )
     topology = build_clos(config.clos)
     partitions = partition_hybrid(topology, hybrid.full_cluster, shard.workers)
     pdes_config = PdesConfig(
@@ -1137,6 +1160,8 @@ def run_hybrid_sharded(
                 model_ref,
                 config.net,
                 hybrid,
+                config.routing,
+                config.failures,
                 config.duration_s,
                 window,
                 config.seed,

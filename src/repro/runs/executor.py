@@ -60,7 +60,13 @@ def _sample_summary(values: list[float]) -> dict[str, float]:
 
 def _summarize_result(result: RunResult) -> dict[str, Any]:
     """Manifest-sized view of a :class:`RunResult` (no raw samples)."""
+    scenario: dict[str, Any] = {}
+    if result.failure_events:
+        scenario["failure_events"] = result.failure_events
+    if result.collective is not None:
+        scenario["collective"] = result.collective
     return {
+        **scenario,
         "sim_seconds": result.sim_seconds,
         "wallclock_seconds": result.wallclock_seconds,
         "sim_seconds_per_second": result.sim_seconds_per_second,
@@ -267,19 +273,22 @@ def _run_stage(
             # residency, promotion counts, and per-tier packet split,
             # and the auditable decision log lands next to it.
             from repro.cascade import CascadeConfig, run_cascade_simulation
+            from repro.validate.invariants import InvariantChecker
 
             options = dict(request.hybrid)
             tracer = _make_tracer(options, request.experiment.seed)
             cascade_config = CascadeConfig.from_dict(options)
+            checker = InvariantChecker(metrics=metrics)
             cascade_result, cascade_sim = run_cascade_simulation(
                 request.experiment, lookup.model, cascade=cascade_config,
-                metrics=metrics, tracer=tracer,
+                metrics=metrics, tracer=tracer, invariants=checker,
             )
             counters = cascade_sim.hybrid.hot_path_counters(
                 cascade_result.result.wallclock_seconds
             )
             result_dict = _summarize_result(cascade_result.result)
             result_dict["cascade"] = cascade_sim.cascade_summary()
+            result_dict["invariants"] = checker.summary()
             result_dict["fluid_fct"] = _sample_summary(cascade_result.fluid_fcts)
             decisions_path = run_dir / "decisions.json"
             cascade_sim.decision_log.save(decisions_path)
@@ -403,6 +412,11 @@ def execute_run(
             "message": str(error),
             "traceback": traceback.format_exc(),
         }
+        # Structured simulation errors (an unroutable packet after a
+        # link failure, say) carry machine-readable context for triage.
+        details = getattr(error, "details", None)
+        if callable(details):
+            manifest.error["details"] = details()
         # A crashed PDES worker's flight recorder survives in its error
         # report; carry the last window of spans into the manifest.
         trace_tail = getattr(error, "trace_tail", None)

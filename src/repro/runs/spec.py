@@ -58,12 +58,36 @@ SWEEP_AXES = EXPERIMENT_AXES + TOPOLOGY_AXES + MICRO_AXES
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 _EXPERIMENT_KEYS = frozenset(
-    {"load", "duration_s", "seed", "matrix", "intra_cluster_fraction", "clusters", "clos"}
+    {
+        "load",
+        "duration_s",
+        "seed",
+        "matrix",
+        "intra_cluster_fraction",
+        "clusters",
+        "clos",
+        "routing",
+        "failures",
+        "collective",
+    }
 )
 _SPEC_KEYS = frozenset(
-    {"name", "stage", "experiment", "training", "micro", "hybrid", "sweep", "inject"}
+    {
+        "name",
+        "stage",
+        "experiment",
+        "training",
+        "micro",
+        "hybrid",
+        "sweep",
+        "inject",
+        "traffic",
+        "routing",
+        "failures",
+    }
 )
 _INJECT_KEYS = frozenset({"fail_attempts", "hang_s"})
+_TRAFFIC_KEYS = frozenset({"collective"})
 
 
 def _experiment_from_dict(raw: dict, *, context: str) -> ExperimentConfig:
@@ -225,7 +249,36 @@ class ScenarioSpec:
         if "name" not in raw:
             raise ValueError("spec needs a 'name'")
         name = raw["name"]
-        experiment = _experiment_from_dict(raw.get("experiment", {}), context="experiment")
+        # Scenario-pack keys (`traffic.collective`, `routing`,
+        # `failures`) live at the spec's top level for readability but
+        # are experiment parameters: they fold into the evaluation
+        # config, where every stage (full DES, hybrid, cascade,
+        # validate, PDES) picks them up uniformly.
+        experiment_raw = dict(raw.get("experiment", {}))
+        for scenario_key in ("routing", "failures"):
+            if scenario_key in raw:
+                if scenario_key in experiment_raw:
+                    raise ValueError(
+                        f"{scenario_key!r} given both at top level and "
+                        "inside 'experiment'; pick one"
+                    )
+                experiment_raw[scenario_key] = raw[scenario_key]
+        traffic = raw.get("traffic", {})
+        if traffic:
+            unknown = set(traffic) - _TRAFFIC_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown traffic keys {sorted(unknown)}; "
+                    f"allowed: {sorted(_TRAFFIC_KEYS)}"
+                )
+            if "collective" in traffic:
+                if "collective" in experiment_raw:
+                    raise ValueError(
+                        "'collective' given both in 'traffic' and inside "
+                        "'experiment'; pick one"
+                    )
+                experiment_raw["collective"] = traffic["collective"]
+        experiment = _experiment_from_dict(experiment_raw, context="experiment")
         training = None
         if "training" in raw:
             training = _experiment_from_dict(raw["training"], context="training")

@@ -110,6 +110,10 @@ class TrafficGenerator(Entity):
         #: Optional tap called with the :class:`FlowRecord` of every
         #: completed packet flow (the cascade's FCT windows).
         self.on_flow_complete: Optional[Callable[[FlowRecord], None]] = None
+        #: The collective workload launching flows through this
+        #: generator, when the experiment configured one (set by
+        #: :func:`repro.core.pipeline.make_generator`).
+        self.collective = None
 
         self.fct_monitor = Monitor("fct")
         self.flows: list[FlowRecord] = []
@@ -130,7 +134,11 @@ class TrafficGenerator(Entity):
 
     def _schedule_next_arrival(self) -> None:
         if self.max_flows is not None:
-            if self.flows_started + self.flows_elided >= self.max_flows:
+            # Diverted flows count against the cap too: a flow claimed
+            # by the fluid tier is still one arrival, and omitting it
+            # made cascade runs overshoot the requested flow count.
+            generated = self.flows_started + self.flows_elided + self.flows_diverted
+            if generated >= self.max_flows:
                 return
         gap = self.arrivals.next_gap(self._arrival_rng)
         self.schedule(gap, self._on_arrival)
@@ -154,12 +162,23 @@ class TrafficGenerator(Entity):
         # relative to the pair/size draws cannot perturb the workload.
         self._schedule_next_arrival()
 
-    def launch_flow(self, src: str, dst: str, size_bytes: int) -> FlowRecord:
+    def launch_flow(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        src_port: Optional[int] = None,
+        on_complete: Optional[Callable[[FlowRecord], None]] = None,
+    ) -> FlowRecord:
         """Open one packet flow now; returns its record.
 
         Public so tier adapters can relaunch handed-off flows (with
         their remaining bytes) through the exact same TCP path and
-        bookkeeping as generated flows.
+        bookkeeping as generated flows.  ``src_port`` pins the source
+        port (tier handoffs reuse the port reserved at diversion time
+        so the packet flow hashes onto the path the fluid tier already
+        charged); ``on_complete`` is a per-flow completion tap invoked
+        after the shared bookkeeping (collective chunk gating uses it).
         """
         flow_id = len(self.flows)
         record = FlowRecord(
@@ -177,7 +196,9 @@ class TrafficGenerator(Entity):
         if self._tracer is not None:
             trace = self._tracer.trace_for_flow(flow_id)
 
-        def on_complete(fct: float, record: FlowRecord = record, trace=trace) -> None:
+        flow_tap = on_complete
+
+        def handle_complete(fct: float, record: FlowRecord = record, trace=trace) -> None:
             record.completion_time = self.now
             self.flows_completed += 1
             self.fct_monitor.record(fct)
@@ -187,8 +208,12 @@ class TrafficGenerator(Entity):
                 )
             if self.on_flow_complete is not None:
                 self.on_flow_complete(record)
+            if flow_tap is not None:
+                flow_tap(record)
 
-        sender = src_host.open_flow(dst_host, size_bytes, on_complete=on_complete)
+        sender = src_host.open_flow(
+            dst_host, size_bytes, on_complete=handle_complete, src_port=src_port
+        )
         if trace is not None:
             self._tracer.register_flow(flow_id, key=(src, sender.src_port))
             self._tracer.event(

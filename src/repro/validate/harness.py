@@ -170,6 +170,8 @@ def run_differential_pair(
         config=vc.hybrid_config(),
         metrics=metrics,
         invariants=checker,
+        routing_config=config.routing,
+        failures=config.failures,
     )
     hybrid_outcomes: list[Outcome] = []
     region_model = hybrid_sim.models[vc.region_cluster]
@@ -207,6 +209,10 @@ def run_differential_pair(
         model_packets=hybrid_sim.model_packets_handled(),
         model_drops=hybrid_sim.model_drops(),
         model_inference_seconds=hybrid_sim.inference_seconds(),
+        failure_events=hybrid_sim.failure_injector.summary(),
+        collective=(
+            generator.collective.summary() if generator.collective else None
+        ),
     )
 
     report = build_report(

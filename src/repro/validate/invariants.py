@@ -24,6 +24,11 @@ Four invariants are covered:
 ``latency_bounds``
     Predicted region latencies stay within the physical floor and the
     extrapolation ceiling of :mod:`repro.core.cluster_model`.
+``routability``
+    No switch strands a packet without a live route — reachable once
+    link failures partition the fabric; recorded via
+    :meth:`InvariantChecker.watch_network` before the structured
+    :class:`~repro.net.switch.UnroutablePacketError` propagates.
 
 The checker follows the ``metrics`` contract: entities hold it as an
 optional reference and pay one ``is not None`` branch per packet when
@@ -41,7 +46,7 @@ from typing import Any, Optional
 from repro.core.cluster_model import MAX_REGION_LATENCY_S, MIN_REGION_LATENCY_S
 
 #: The invariant names a checker can report (stable; used as labels).
-INVARIANTS = ("causality", "conservation", "fcfs", "latency_bounds")
+INVARIANTS = ("causality", "conservation", "fcfs", "latency_bounds", "routability")
 
 
 @dataclass(frozen=True)
@@ -193,6 +198,27 @@ class InvariantChecker:
         this from its constructor when handed a checker.
         """
         self._clusters.append(cluster)
+
+    def watch_network(self, network) -> None:
+        """Record a routability violation for every unroutable packet.
+
+        Installs an ``on_unroutable`` hook on each switch so that a
+        stranded packet is counted before the structured
+        :class:`~repro.net.switch.UnroutablePacketError` propagates —
+        the failed manifest then shows both the error and the
+        violation.
+        """
+
+        def on_unroutable(error, packet) -> None:
+            self.record(
+                "routability",
+                error.time,
+                f"{error.switch}: {error.src}->{error.dst} under "
+                f"{error.policy!r}: {error.reason}",
+            )
+
+        for switch in network.switches.values():
+            switch.on_unroutable = on_unroutable
 
     # ------------------------------------------------------------------
     # Hot-path checks (called per packet by ApproximatedCluster)

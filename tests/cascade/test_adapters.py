@@ -26,8 +26,12 @@ class FakeContext:
         # server-c<N>-t...-s... -> N
         return int(server.split("-")[1][1:])
 
-    def launch_carried_flow(self, src: str, dst: str, size_bytes: int):
+    def launch_carried_flow(
+        self, src: str, dst: str, size_bytes: int, src_port=None
+    ):
         self.launched.append((src, dst, size_bytes))
+        self.launched_ports = getattr(self, "launched_ports", [])
+        self.launched_ports.append(src_port)
 
     def inflight_packet_flows(self, region: int) -> int:
         return self.inflight[region]

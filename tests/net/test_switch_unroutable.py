@@ -1,0 +1,87 @@
+"""Structured unroutable-packet errors.
+
+A partitioned topology must surface ``(switch, dst, policy)`` context —
+not a bare KeyError/RuntimeError — and the invariant checker's network
+watch must count the stranded packet as a routability violation before
+the error propagates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.switch import UnroutablePacketError
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.routing import EcmpRouting
+from repro.validate.invariants import InvariantChecker
+
+
+@pytest.fixture
+def partitioned_network():
+    """A 2-cluster Clos whose tor-c0-0 has both uplinks cut."""
+    topology = build_clos(ClosParams(clusters=2))
+    sim = Simulator(seed=3)
+    routing = EcmpRouting(topology)
+    network = Network(sim, topology, routing=routing)
+    routing.set_link_state("tor-c0-0", "agg-c0-0", up=False)
+    routing.set_link_state("tor-c0-0", "agg-c0-1", up=False)
+    return sim, network
+
+
+def _cross_rack_packet() -> Packet:
+    return Packet(
+        src="server-c0-t0-s0",
+        dst="server-c1-t0-s0",
+        src_port=10_001,
+        dst_port=80,
+        payload_bytes=1460,
+    )
+
+
+def test_unroutable_packet_raises_structured_error(partitioned_network):
+    sim, network = partitioned_network
+    switch = network.switches["tor-c0-0"]
+    with pytest.raises(UnroutablePacketError) as excinfo:
+        switch.receive(_cross_rack_packet(), from_node="server-c0-t0-s0")
+    error = excinfo.value
+    assert error.switch == "tor-c0-0"
+    assert error.dst == "server-c1-t0-s0"
+    assert error.policy == "ecmp"
+    assert error.time == sim.now
+    assert ("agg-c0-0", "tor-c0-0") in [tuple(p) for p in error.failed_links]
+    details = error.details()
+    assert details["switch"] == "tor-c0-0"
+    assert details["policy"] == "ecmp"
+    assert details["failed_links"], details
+    # The message reads like an explanation, not a bare traceback.
+    assert "cannot route" in str(error)
+
+
+def test_watch_network_counts_routability_violation(partitioned_network):
+    sim, network = partitioned_network
+    checker = InvariantChecker()
+    checker.watch_network(network)
+    switch = network.switches["tor-c0-0"]
+    with pytest.raises(UnroutablePacketError):
+        switch.receive(_cross_rack_packet(), from_node="server-c0-t0-s0")
+    summary = checker.summary()
+    assert summary["counts"]["routability"] == 1
+    assert summary["total"] == 1
+    (violation,) = summary["violations"]
+    assert violation["invariant"] == "routability"
+    assert "tor-c0-0" in violation["detail"]
+
+
+def test_intact_topology_routes_without_violations():
+    topology = build_clos(ClosParams(clusters=2))
+    sim = Simulator(seed=3)
+    network = Network(sim, topology)
+    checker = InvariantChecker()
+    checker.watch_network(network)
+    switch = network.switches["tor-c0-0"]
+    switch.receive(_cross_rack_packet(), from_node="server-c0-t0-s0")
+    assert switch.packets_forwarded == 1
+    assert checker.total == 0

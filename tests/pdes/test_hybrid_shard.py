@@ -193,6 +193,61 @@ def test_single_worker_has_no_model_bound():
 # ----------------------------------------------------------------------
 # Flow-schedule extraction
 # ----------------------------------------------------------------------
+def test_sharded_failures_match_single_process(trained_bundle):
+    """Every worker applies the same failure schedule at the same sim
+    times against its own routing copy; the merged outcome must equal
+    the unsharded run under the identical schedule."""
+    from dataclasses import replace
+
+    config = replace(
+        EXPERIMENT, failures=[(0.0008, "core-0", "agg-c0-0")]
+    )
+    single, _ = run_hybrid_simulation(config, trained_bundle, hybrid=HYBRID)
+    sharded = run_hybrid_sharded(
+        config,
+        trained_bundle,
+        shard=HybridShardConfig(workers=2),
+        hybrid=HYBRID,
+    )
+    assert sharded.outcome_signature() == outcome_signature(
+        single.fcts, single.rtt_samples, single.drops, single.flows_completed
+    )
+    assert single.failure_events and single.failure_events[0]["changed"]
+
+
+def test_collective_workload_rejected(trained_bundle):
+    """Gated collective sends depend on cross-worker completions, so
+    sharded runs refuse them up front with an actionable message."""
+    from dataclasses import replace
+
+    config = replace(
+        EXPERIMENT, collective={"algorithm": "ring", "ranks": 4}
+    )
+    with pytest.raises(ValueError, match="collective"):
+        run_hybrid_sharded(
+            config,
+            trained_bundle,
+            shard=HybridShardConfig(workers=2),
+            hybrid=HYBRID,
+        )
+
+
+def test_flow_schedule_ignores_collective():
+    """Schedule extraction strips the collective (its chunks launch via
+    completion gating, not arrivals) without perturbing the background
+    mice schedule."""
+    from dataclasses import replace
+
+    topology = build_clos(EXPERIMENT.clos)
+    baseline = extract_flow_schedule(topology, EXPERIMENT, HYBRID)
+    with_collective = extract_flow_schedule(
+        topology,
+        replace(EXPERIMENT, collective={"algorithm": "ring", "ranks": 4}),
+        HYBRID,
+    )
+    assert with_collective == baseline
+
+
 def test_flow_schedule_deterministic_with_replicated_ports():
     topology = build_clos(EXPERIMENT.clos)
     first = extract_flow_schedule(topology, EXPERIMENT, HYBRID)

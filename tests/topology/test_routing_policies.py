@@ -1,0 +1,173 @@
+"""Property-based tests of the RoutingPolicy seam.
+
+Flowlet and adaptive routing must always forward onto an attached
+neighbor that lies on a *live* shortest path (also after failures),
+and plain ECMP must behave identically through the seam — the policy
+refactor cannot perturb existing experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.routing import (
+    AdaptiveRouting,
+    EcmpRouting,
+    FlowletRouting,
+    NoRouteError,
+    RoutingConfig,
+    make_routing,
+)
+
+TOPOLOGY = build_clos(ClosParams(clusters=2))
+SERVERS = sorted(node.name for node in TOPOLOGY.servers())
+SWITCHES = sorted(node.name for node in TOPOLOGY.switches())
+#: A core uplink whose loss leaves the fabric connected (there are
+#: two cores, each attached to every aggregation switch).
+REDUNDANT_LINK = ("core-0", "agg-c0-0")
+
+flow_hashes = st.integers(min_value=0, max_value=2**64 - 1)
+times = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _policy(name: str) -> EcmpRouting:
+    return make_routing(TOPOLOGY, RoutingConfig(policy=name))
+
+
+def _assert_on_live_shortest_path(routing: EcmpRouting, node: str, dst: str, pick: str) -> None:
+    assert pick in TOPOLOGY.neighbors(node), (node, pick)
+    assert pick in routing.next_hops(node, dst), (node, dst, pick)
+    assert routing.distance(pick, dst) == routing.distance(node, dst) - 1
+    assert frozenset((node, pick)) not in {
+        frozenset(link) for link in routing.failed_links
+    }
+
+
+@pytest.mark.parametrize("policy", ["flowlet", "adaptive"])
+@given(
+    node=st.sampled_from(SWITCHES),
+    dst=st.sampled_from(SERVERS),
+    flow_hash=flow_hashes,
+    now=times,
+)
+@settings(max_examples=60, deadline=None)
+def test_policies_pick_attached_live_shortest_hop(policy, node, dst, flow_hash, now):
+    routing = _policy(policy)
+    pick = routing.select_next_hop(node, dst, flow_hash, now=now, port_load=lambda _: 0)
+    _assert_on_live_shortest_path(routing, node, dst, pick)
+
+
+@pytest.mark.parametrize("policy", ["ecmp", "flowlet", "adaptive"])
+@given(node=st.sampled_from(SWITCHES), dst=st.sampled_from(SERVERS), flow_hash=flow_hashes)
+@settings(max_examples=40, deadline=None)
+def test_policies_respect_failed_links(policy, node, dst, flow_hash):
+    routing = _policy(policy)
+    routing.set_link_state(*REDUNDANT_LINK, up=False)
+    assert routing.failed_links == [tuple(sorted(REDUNDANT_LINK))]
+    pick = routing.select_next_hop(node, dst, flow_hash, now=0.0, port_load=lambda _: 0)
+    _assert_on_live_shortest_path(routing, node, dst, pick)
+
+
+@given(
+    node=st.sampled_from(SWITCHES),
+    dst=st.sampled_from(SERVERS),
+    flow_hash=flow_hashes,
+    now=times,
+    loads=st.lists(st.integers(min_value=0, max_value=10**6), min_size=8, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_ecmp_unchanged_under_seam(node, dst, flow_hash, now, loads):
+    """The seam is behavior-preserving for ECMP: time and load inputs
+    must not perturb the hash-selected hop."""
+    routing = EcmpRouting(TOPOLOGY)
+    expected = routing.next_hop(node, dst, flow_hash)
+    load_table = dict(zip(TOPOLOGY.neighbors(node), loads))
+    pick = routing.select_next_hop(
+        node, dst, flow_hash, now=now, port_load=lambda n: load_table.get(n, 0)
+    )
+    assert pick == expected
+
+
+@given(src=st.sampled_from(SERVERS), dst=st.sampled_from(SERVERS), flow_hash=flow_hashes)
+@settings(max_examples=40, deadline=None)
+def test_canonical_paths_agree_across_policies(src, dst, flow_hash):
+    """path() — what feature extraction and the fluid tier charge — is
+    the ECMP path under every policy (salt-0 flowlet, zero-load adaptive)."""
+    if src == dst:
+        return
+    expected = EcmpRouting(TOPOLOGY).path(src, dst, flow_hash)
+    for policy in ("flowlet", "adaptive"):
+        assert _policy(policy).path(src, dst, flow_hash) == expected
+
+
+def test_flowlet_rehashes_only_after_gap():
+    routing = FlowletRouting(TOPOLOGY, gap_s=1e-4)
+    node, dst, flow_hash = "tor-c0-0", "server-c1-t0-s0", 12345
+    first = routing.select_next_hop(node, dst, flow_hash, now=0.0)
+    # Within the gap: same flowlet, same hop, no switch counted.
+    assert routing.select_next_hop(node, dst, flow_hash, now=5e-5) == first
+    assert routing.flowlet_switches == 0
+    # Beyond the gap: a new flowlet may re-hash; the salt advances.
+    routing.select_next_hop(node, dst, flow_hash, now=1.0)
+    assert routing.flowlet_switches == 1
+    assert routing._flowlets[(node, flow_hash)][1] == 1
+
+
+def test_adaptive_prefers_least_loaded_port():
+    routing = AdaptiveRouting(TOPOLOGY)
+    node, dst = "tor-c0-0", "server-c1-t0-s0"
+    hops = routing.next_hops(node, dst)
+    assert len(hops) >= 2
+    for target in hops:
+        loads = {hop: 0 if hop == target else 10_000 for hop in hops}
+        pick = routing.select_next_hop(
+            node, dst, 7, now=0.0, port_load=lambda n: loads[n]
+        )
+        assert pick == target
+
+
+def test_disconnection_raises_no_route_error():
+    routing = EcmpRouting(TOPOLOGY)
+    # Cut both ToR uplinks: the rack can no longer reach other racks.
+    routing.set_link_state("tor-c0-0", "agg-c0-0", up=False)
+    routing.set_link_state("tor-c0-0", "agg-c0-1", up=False)
+    with pytest.raises(NoRouteError) as excinfo:
+        routing.next_hop("tor-c0-0", "server-c1-t0-s0", 1)
+    assert excinfo.value.node == "tor-c0-0"
+    assert excinfo.value.dst == "server-c1-t0-s0"
+    # NoRouteError keeps compatibility with bare KeyError handlers.
+    assert isinstance(excinfo.value, KeyError)
+    # Intra-rack traffic still routes.
+    assert routing.next_hop("tor-c0-0", "server-c0-t0-s0", 1) == "server-c0-t0-s0"
+    # Recovery restores the cut routes and counts its rebuilds.
+    rebuilds = routing.table_rebuilds
+    assert routing.set_link_state("tor-c0-0", "agg-c0-0", up=True)
+    assert routing.table_rebuilds == rebuilds + 1
+    routing.next_hop("tor-c0-0", "server-c1-t0-s0", 1)
+
+
+def test_set_link_state_validates_and_dedupes():
+    routing = EcmpRouting(TOPOLOGY)
+    with pytest.raises(ValueError, match="no link"):
+        routing.set_link_state("tor-c0-0", "core-0", up=False)
+    assert routing.set_link_state(*REDUNDANT_LINK, up=False) is True
+    # Re-failing a dead link (or re-raising a live one) is a no-op.
+    assert routing.set_link_state(*REDUNDANT_LINK, up=False) is False
+    assert routing.set_link_state(*REDUNDANT_LINK, up=True) is True
+    assert routing.set_link_state(*REDUNDANT_LINK, up=True) is False
+    assert routing.failed_links == []
+
+
+def test_routing_config_validation():
+    with pytest.raises(ValueError, match="unknown routing policy"):
+        RoutingConfig(policy="spray")
+    with pytest.raises(ValueError, match="flowlet_gap_s"):
+        RoutingConfig(flowlet_gap_s=0.0)
+    with pytest.raises(ValueError, match="unknown routing keys"):
+        RoutingConfig.from_dict({"policy": "ecmp", "gap": 1.0})
+    assert RoutingConfig.from_dict("adaptive").policy == "adaptive"
+    config = RoutingConfig.from_dict({"policy": "flowlet", "flowlet_gap_s": 1e-3})
+    assert make_routing(TOPOLOGY, config).gap_s == 1e-3

@@ -1,0 +1,129 @@
+"""Collective (AllReduce) workload generators.
+
+Phase gating makes flow counts exact: a ring AllReduce of N ranks runs
+2*(N-1) steps of N concurrent sends, a binary-tree AllReduce reduces up
+and broadcasts down one flow per edge, and TP/PP phases precede the
+AllReduce each iteration.  The tests pin those counts, the determinism
+of the seeded streams, and the config validation surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ExperimentConfig, run_full_simulation
+from repro.topology.clos import ClosParams
+from repro.traffic.collectives import CollectiveConfig
+
+
+def _run(collective: dict, duration_s: float = 0.02, seed: int = 5):
+    config = ExperimentConfig(
+        clos=ClosParams(clusters=2),
+        load=0.05,
+        duration_s=duration_s,
+        seed=seed,
+        collective=collective,
+    )
+    return run_full_simulation(config)
+
+
+def test_ring_flow_count_is_exact():
+    output = _run({"algorithm": "ring", "ranks": 4, "chunk_bytes": 20_000, "rounds": 2})
+    summary = output.result.collective
+    assert summary["algorithm"] == "ring"
+    assert summary["rounds_completed"] == 2
+    # 2 rounds x 4 ranks x 2*(4-1) gated steps.
+    assert summary["flows_launched"] == 2 * 4 * 6
+    assert summary["chunks_completed"] == summary["flows_launched"]
+    assert summary["bytes_launched"] == summary["flows_launched"] * 20_000
+
+
+def test_tree_flow_count_is_exact():
+    output = _run({"algorithm": "tree", "ranks": 8, "chunk_bytes": 20_000, "rounds": 1})
+    summary = output.result.collective
+    # Reduce-up and broadcast-down each traverse the 7 tree edges once.
+    assert summary["flows_launched"] == 14
+    assert summary["rounds_completed"] == 1
+
+
+def test_tp_pp_phases_precede_allreduce():
+    output = _run({
+        "algorithm": "ring",
+        "ranks": 4,
+        "chunk_bytes": 10_000,
+        "rounds": 1,
+        "tp_bytes": 5_000,
+        "pp_bytes": 5_000,
+    })
+    summary = output.result.collective
+    # 2 TP pairs x 2 directions + 3 PP stage hops + 4x6 ring sends.
+    assert summary["flows_launched"] == 4 + 3 + 24
+    assert summary["bytes_launched"] == 4 * 5_000 + 3 * 5_000 + 24 * 10_000
+
+
+def test_dp_groups_run_independent_rings():
+    output = _run({
+        "algorithm": "ring",
+        "ranks": 8,
+        "dp_groups": 2,
+        "chunk_bytes": 10_000,
+        "rounds": 1,
+    })
+    summary = output.result.collective
+    # Two independent 4-rank rings.
+    assert summary["flows_launched"] == 2 * (4 * 6)
+    assert summary["rounds_completed"] == 2
+    assert summary["rounds_requested"] == 2
+
+
+def test_collective_runs_are_deterministic():
+    kwargs = {
+        "algorithm": "ring",
+        "ranks": 4,
+        "chunk_bytes": 20_000,
+        "rounds": 2,
+        "compute_s": 3e-4,
+        "compute_jitter": 0.5,
+    }
+    first = _run(kwargs)
+    second = _run(kwargs)
+    assert first.result.collective == second.result.collective
+    assert first.result.fcts == second.result.fcts
+    assert first.result.flows_started == second.result.flows_started
+
+
+def test_compute_phase_delays_next_round():
+    fast = _run({"algorithm": "ring", "ranks": 4, "chunk_bytes": 10_000, "rounds": 2})
+    # A compute phase longer than the run leaves round 2 unstarted.
+    slow = _run({
+        "algorithm": "ring",
+        "ranks": 4,
+        "chunk_bytes": 10_000,
+        "rounds": 2,
+        "compute_s": 1.0,
+    })
+    assert fast.result.collective["rounds_completed"] == 2
+    assert slow.result.collective["rounds_completed"] == 1
+    assert slow.result.collective["flows_launched"] == fast.result.collective[
+        "flows_launched"
+    ] // 2
+
+
+def test_collective_config_validation():
+    with pytest.raises(ValueError, match="algorithm"):
+        CollectiveConfig(algorithm="butterfly")
+    with pytest.raises(ValueError, match="chunk_bytes"):
+        CollectiveConfig(chunk_bytes=0)
+    with pytest.raises(ValueError, match="rounds"):
+        CollectiveConfig(rounds=0)
+    with pytest.raises(ValueError, match="unknown collective keys"):
+        CollectiveConfig.from_dict({"algorithm": "ring", "chunks": 3})
+    with pytest.raises(TypeError):
+        CollectiveConfig.from_dict("ring")
+
+
+def test_workload_validates_against_topology():
+    with pytest.raises(ValueError, match="ranks"):
+        _run({"algorithm": "ring", "ranks": 64}, duration_s=0.001)
+    with pytest.raises(ValueError, match="dp_groups"):
+        _run({"algorithm": "ring", "ranks": 4, "dp_groups": 3}, duration_s=0.001)

@@ -145,6 +145,28 @@ class TestTrafficGenerator:
         sim.run(until=1.0)
         assert gen.flows_started + gen.flows_elided == 3
 
+    def test_max_flows_counts_diverted_flows(self, small_clos):
+        """Regression: flows claimed by a dispatch hook (the cascade's
+        fluid tier) must count against max_flows — omitting them made
+        capped runs generate arrivals forever."""
+        diverted = []
+
+        def dispatch(src, dst, size):
+            take = len(diverted) % 2 == 0  # claim every other arrival
+            if take:
+                diverted.append((src, dst, size))
+            return take
+
+        sim = Simulator(seed=6)
+        net = Network(sim, small_clos, NetworkConfig())
+        gen = self._generator(
+            small_clos, sim, net, max_flows=6, flow_dispatch=dispatch
+        )
+        gen.start()
+        sim.run(until=5.0)
+        assert gen.flows_diverted == len(diverted) > 0
+        assert gen.flows_started + gen.flows_elided + gen.flows_diverted == 6
+
     def test_goodput_accounting(self, small_clos):
         sim = Simulator(seed=8)
         net = Network(sim, small_clos, NetworkConfig())
